@@ -1,0 +1,69 @@
+/// Ablation — the branch-cut policy of Algorithm 1.
+///
+/// The paper remarks (Section III-C, Fig. 2 discussion) that the choice of
+/// which wavefront subtree to cut affects decomposition quality, and that a
+/// well-designed heuristic might improve the mapping. This sweep compares
+/// the paper's random choice against smallest-subtree, largest-subtree and
+/// first-active policies on almost series-parallel graphs.
+///
+/// Flags: --tasks N --edges=10,40,... --graphs N --seed S
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "mappers/decomposition.hpp"
+#include "util/flags.hpp"
+
+using namespace spmap;
+using namespace spmap::bench;
+
+namespace {
+
+MapperSpec cut_spec(const std::string& name, CutPolicy policy) {
+  return {name, [policy](const Dag& dag, Rng& rng) {
+            return make_series_parallel_mapper(dag, rng, /*first_fit=*/true,
+                                               policy);
+          }};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"tasks", "edges", "graphs", "seed"});
+  const auto tasks = static_cast<std::size_t>(flags.get_int("tasks", 80));
+  const auto edge_counts = flags.get_int_list("edges", {10, 40, 80});
+  const auto graphs = static_cast<std::size_t>(flags.get_int("graphs", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 8));
+
+  const Platform platform = reference_platform();
+  Rng rng(seed);
+
+  const std::vector<MapperSpec> specs{
+      cut_spec("cut=random", CutPolicy::Random),
+      cut_spec("cut=smallest", CutPolicy::SmallestSubtree),
+      cut_spec("cut=largest", CutPolicy::LargestSubtree),
+      cut_spec("cut=first", CutPolicy::FirstActive)};
+
+  std::vector<double> xs;
+  std::vector<std::map<std::string, AlgoMetrics>> rows;
+  for (const auto extra : edge_counts) {
+    std::vector<Case> cases;
+    for (std::size_t g = 0; g < graphs; ++g) {
+      Case c;
+      const Dag base = generate_sp_dag(tasks, rng);
+      c.dag = add_random_edges(base, static_cast<std::size_t>(extra), rng);
+      c.attrs = random_task_attrs(c.dag, rng);
+      cases.push_back(std::move(c));
+    }
+    std::fprintf(stderr, "[ablation_cut] +%lld edges...\n",
+                 static_cast<long long>(extra));
+    rows.push_back(run_point(cases, specs, platform, rng));
+    xs.push_back(static_cast<double>(extra));
+  }
+
+  print_series("ablation_cut_policy", "added_edges", xs, rows,
+               {"cut=random", "cut=smallest", "cut=largest", "cut=first"});
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Ablation — the gamma-threshold look-ahead of Section III-D.
+///
+/// Paper claim to verify: "using a gamma-threshold heuristic with gamma > 1
+/// does not provide a significant benefit in comparison with the FirstFit
+/// variant" — while all threshold variants are much cheaper than the basic
+/// (exhaustive re-evaluation) principle.
+///
+/// Sweeps gamma in {1 (FirstFit), 1.25, 1.5, 2, 4} plus the basic variant
+/// on random series-parallel graphs.
+///
+/// Flags: --tasks N --graphs N --seed S
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "mappers/decomposition.hpp"
+#include "util/flags.hpp"
+
+using namespace spmap;
+using namespace spmap::bench;
+
+namespace {
+
+MapperSpec gamma_spec(const std::string& name, double gamma) {
+  return {name, [gamma](const Dag& dag, Rng& rng) {
+            DecompositionParams params;
+            params.variant = DecompositionVariant::Threshold;
+            params.gamma = gamma;
+            return std::make_unique<DecompositionMapper>(
+                "gamma", series_parallel_subgraphs(dag, rng), params);
+          }};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"tasks", "graphs", "seed"});
+  const auto sizes = flags.get_int_list("tasks", {50, 100, 150});
+  const auto graphs = static_cast<std::size_t>(flags.get_int("graphs", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  const Platform platform = reference_platform();
+  Rng rng(seed);
+
+  const std::vector<MapperSpec> specs{
+      gamma_spec("gamma=1.0", 1.0),  gamma_spec("gamma=1.25", 1.25),
+      gamma_spec("gamma=1.5", 1.5),  gamma_spec("gamma=2.0", 2.0),
+      gamma_spec("gamma=4.0", 4.0),  series_parallel_spec(false)};
+
+  std::vector<double> xs;
+  std::vector<std::map<std::string, AlgoMetrics>> rows;
+  for (const auto size : sizes) {
+    std::vector<Case> cases;
+    for (std::size_t g = 0; g < graphs; ++g) {
+      Case c;
+      c.dag = generate_sp_dag(static_cast<std::size_t>(size), rng);
+      c.attrs = random_task_attrs(c.dag, rng);
+      cases.push_back(std::move(c));
+    }
+    std::fprintf(stderr, "[ablation_gamma] %lld tasks...\n",
+                 static_cast<long long>(size));
+    rows.push_back(run_point(cases, specs, platform, rng));
+    xs.push_back(static_cast<double>(size));
+  }
+
+  print_series("ablation_gamma", "tasks", xs, rows,
+               {"gamma=1.0", "gamma=1.25", "gamma=1.5", "gamma=2.0",
+                "gamma=4.0", "SeriesParallel"});
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Fig. 3 — Decomposition mapping vs. three MILPs on random series-parallel
+/// graphs.
+///
+/// Paper shape to reproduce: SingleNode/SeriesParallel reach 10-20 %
+/// relative improvement at millisecond-scale execution time; WGDP-Dev is
+/// the only comparably fast MILP but clearly worse; WGDP-Time is the best
+/// MILP but its execution time explodes with graph size; ZhouLiu is only
+/// usable on the smallest graphs (the paper stops it at 20 tasks with a
+/// 5-minute timeout — here it gets --milp-limit seconds and we report its
+/// incumbent).
+///
+/// Flags: --sizes=5,10,... --zhouliu-max-tasks N --graphs N --seed S
+///        --milp-limit SEC
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "util/flags.hpp"
+
+using namespace spmap;
+using namespace spmap::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"sizes", "graphs", "seed", "milp-limit",
+                     "zhouliu-max-tasks"});
+  const auto sizes = flags.get_int_list("sizes", {5, 10, 15, 20, 25, 30});
+  const auto graphs = static_cast<std::size_t>(flags.get_int("graphs", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double milp_limit = flags.get_double("milp-limit", 2.0);
+  const auto zhouliu_max =
+      static_cast<std::size_t>(flags.get_int("zhouliu-max-tasks", 20));
+
+  const Platform platform = reference_platform();
+  Rng rng(seed);
+
+  std::vector<double> xs;
+  std::vector<std::map<std::string, AlgoMetrics>> rows;
+  for (const auto size : sizes) {
+    std::vector<Case> cases;
+    for (std::size_t g = 0; g < graphs; ++g) {
+      Case c;
+      c.dag = generate_sp_dag(static_cast<std::size_t>(size), rng);
+      c.attrs = random_task_attrs(c.dag, rng);
+      cases.push_back(std::move(c));
+    }
+    std::vector<MapperSpec> specs{
+        single_node_spec(false), series_parallel_spec(false),
+        wgdp_device_spec(milp_limit), wgdp_time_spec(milp_limit)};
+    if (static_cast<std::size_t>(size) <= zhouliu_max) {
+      specs.push_back(zhouliu_spec(milp_limit));
+    }
+    std::fprintf(stderr, "[fig3] %lld tasks (%zu graphs)...\n",
+                 static_cast<long long>(size), graphs);
+    rows.push_back(run_point(cases, specs, platform, rng));
+    xs.push_back(static_cast<double>(size));
+  }
+
+  print_series("fig3", "tasks", xs, rows,
+               {"WGDP-Time", "WGDP-Dev", "ZhouLiu", "SingleNode",
+                "SeriesParallel"});
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Fig. 4 — HEFT/PEFT vs. decomposition mapping (basic and FirstFit) on
+/// random series-parallel graphs from 5 to 200 tasks.
+///
+/// Paper shape to reproduce: HEFT/PEFT run in microseconds but their
+/// mapping quality decays with graph size; the four decomposition variants
+/// hold their relative improvement roughly constant, with SeriesParallel
+/// about 5 % above SingleNode; FirstFit cuts decomposition execution time
+/// by a large fraction at equal quality; for large graphs SeriesParallel
+/// becomes *faster* than SingleNode because bigger subgraphs are replaced
+/// at once.
+///
+/// Flags: --sizes=5,10,... --graphs N --seed S
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "util/flags.hpp"
+
+using namespace spmap;
+using namespace spmap::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"sizes", "graphs", "seed"});
+  std::vector<std::int64_t> default_sizes;
+  for (std::int64_t s = 5; s <= 200; s += 15) default_sizes.push_back(s);
+  const auto sizes = flags.get_int_list("sizes", default_sizes);
+  const auto graphs = static_cast<std::size_t>(flags.get_int("graphs", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+
+  const Platform platform = reference_platform();
+  Rng rng(seed);
+
+  const std::vector<MapperSpec> specs{
+      heft_spec(),           peft_spec(),
+      single_node_spec(false), single_node_spec(true),
+      series_parallel_spec(false), series_parallel_spec(true)};
+
+  std::vector<double> xs;
+  std::vector<std::map<std::string, AlgoMetrics>> rows;
+  for (const auto size : sizes) {
+    std::vector<Case> cases;
+    for (std::size_t g = 0; g < graphs; ++g) {
+      Case c;
+      c.dag = generate_sp_dag(static_cast<std::size_t>(size), rng);
+      c.attrs = random_task_attrs(c.dag, rng);
+      cases.push_back(std::move(c));
+    }
+    std::fprintf(stderr, "[fig4] %lld tasks (%zu graphs)...\n",
+                 static_cast<long long>(size), graphs);
+    rows.push_back(run_point(cases, specs, platform, rng));
+    xs.push_back(static_cast<double>(size));
+  }
+
+  print_series("fig4", "tasks", xs, rows,
+               {"HEFT", "PEFT", "SingleNode", "SNFirstFit", "SeriesParallel",
+                "SPFirstFit"});
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Fig. 7 — almost series-parallel graphs: 100-task random SP graphs with
+/// 0..200 extra conflicting edges.
+///
+/// Paper shape to reproduce: quality of all algorithms degrades slightly
+/// with added edges; the SP decomposition converges towards the single-node
+/// decomposition (its trees fragment towards single edges); NSGA-II ends up
+/// close to the decomposition heuristics; the SP mapper's execution time
+/// grows with the number of conflicting edges (about +30 % over SingleNode
+/// at 200 added edges) while SingleNode is unaffected.
+///
+/// Flags: --edges=0,20,... --tasks N --graphs N --seed S --generations N
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "util/flags.hpp"
+
+using namespace spmap;
+using namespace spmap::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"edges", "tasks", "graphs", "seed", "generations"});
+  std::vector<std::int64_t> default_edges;
+  for (std::int64_t e = 0; e <= 200; e += 20) default_edges.push_back(e);
+  const auto edge_counts = flags.get_int_list("edges", default_edges);
+  const auto tasks = static_cast<std::size_t>(flags.get_int("tasks", 100));
+  const auto graphs = static_cast<std::size_t>(flags.get_int("graphs", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const auto generations =
+      static_cast<std::size_t>(flags.get_int("generations", 200));
+
+  const Platform platform = reference_platform();
+  Rng rng(seed);
+
+  const std::vector<MapperSpec> specs{heft_spec(), peft_spec(),
+                                      nsga2_spec(generations),
+                                      single_node_spec(true),
+                                      series_parallel_spec(true)};
+
+  std::vector<double> xs;
+  std::vector<std::map<std::string, AlgoMetrics>> rows;
+  for (const auto extra : edge_counts) {
+    std::vector<Case> cases;
+    for (std::size_t g = 0; g < graphs; ++g) {
+      Case c;
+      const Dag base = generate_sp_dag(tasks, rng);
+      c.dag = add_random_edges(base, static_cast<std::size_t>(extra), rng);
+      c.attrs = random_task_attrs(c.dag, rng);
+      cases.push_back(std::move(c));
+    }
+    std::fprintf(stderr, "[fig7] +%lld edges (%zu graphs)...\n",
+                 static_cast<long long>(extra), graphs);
+    rows.push_back(run_point(cases, specs, platform, rng));
+    xs.push_back(static_cast<double>(extra));
+  }
+
+  print_series("fig7", "added_edges", xs, rows,
+               {"HEFT", "PEFT", "NSGAII", "SNFirstFit", "SPFirstFit"});
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "mappers/decomposition.hpp"
+#include "mappers/heft.hpp"
+#include "mappers/milp_mappers.hpp"
+#include "mappers/nsga2.hpp"
+#include "mappers/peft.hpp"
+#include "sched/evaluator.hpp"
+#include "util/timer.hpp"
+
+namespace spmap::bench {
+
+std::map<std::string, AlgoMetrics> run_point(
+    const std::vector<Case>& cases, const std::vector<MapperSpec>& specs,
+    const Platform& platform, Rng& rng, std::size_t reporting_orders) {
+  std::map<std::string, AlgoMetrics> metrics;
+  for (const Case& c : cases) {
+    const CostModel cost(c.dag, c.attrs, platform);
+    // Inner evaluator: the linear-time cost function used while mapping.
+    const Evaluator inner(cost, {.random_orders = 0});
+    // Reporting evaluator: min over BFS + `reporting_orders` random
+    // schedules (Section IV-A).
+    const Evaluator reporting(cost, {.random_orders = reporting_orders});
+    const double baseline = reporting.default_mapping_makespan();
+
+    for (const MapperSpec& spec : specs) {
+      Rng mapper_rng = rng.split();
+      WallTimer timer;
+      auto mapper = spec.make(c.dag, mapper_rng);
+      const MapperResult result = mapper->map(inner);
+      const double seconds = timer.seconds();
+
+      const double reported = reporting.evaluate(result.mapping);
+      double improvement = 0.0;
+      if (baseline > 0.0 && reported < baseline) {
+        improvement = (baseline - reported) / baseline;
+      }
+      metrics[spec.name].improvement.add(improvement);
+      metrics[spec.name].mapper_seconds.add(seconds);
+    }
+  }
+  return metrics;
+}
+
+MapperSpec heft_spec() {
+  return {"HEFT",
+          [](const Dag&, Rng&) { return std::make_unique<HeftMapper>(); }};
+}
+
+MapperSpec peft_spec() {
+  return {"PEFT",
+          [](const Dag&, Rng&) { return std::make_unique<PeftMapper>(); }};
+}
+
+MapperSpec single_node_spec(bool first_fit) {
+  return {first_fit ? "SNFirstFit" : "SingleNode",
+          [first_fit](const Dag& dag, Rng&) {
+            return make_single_node_mapper(dag, first_fit);
+          }};
+}
+
+MapperSpec series_parallel_spec(bool first_fit) {
+  return {first_fit ? "SPFirstFit" : "SeriesParallel",
+          [first_fit](const Dag& dag, Rng& rng) {
+            return make_series_parallel_mapper(dag, rng, first_fit);
+          }};
+}
+
+MapperSpec nsga2_spec(std::size_t generations) {
+  return {"NSGAII", [generations](const Dag&, Rng& rng) {
+            Nsga2Params params;
+            params.generations = generations;
+            params.seed = rng();
+            return std::make_unique<Nsga2Mapper>(params);
+          }};
+}
+
+MapperSpec wgdp_device_spec(double time_limit_s) {
+  return {"WGDP-Dev", [time_limit_s](const Dag&, Rng&) {
+            MilpMapperParams params;
+            params.time_limit_s = time_limit_s;
+            return std::make_unique<WgdpDeviceMapper>(params);
+          }};
+}
+
+MapperSpec wgdp_time_spec(double time_limit_s) {
+  return {"WGDP-Time", [time_limit_s](const Dag&, Rng&) {
+            MilpMapperParams params;
+            params.time_limit_s = time_limit_s;
+            return std::make_unique<WgdpTimeMapper>(params);
+          }};
+}
+
+MapperSpec zhouliu_spec(double time_limit_s) {
+  return {"ZhouLiu", [time_limit_s](const Dag&, Rng&) {
+            MilpMapperParams params;
+            params.time_limit_s = time_limit_s;
+            return std::make_unique<ZhouLiuMapper>(params);
+          }};
+}
+
+void print_series(const std::string& experiment, const std::string& x_name,
+                  const std::vector<double>& xs,
+                  const std::vector<std::map<std::string, AlgoMetrics>>& rows,
+                  const std::vector<std::string>& algo_order) {
+  require(xs.size() == rows.size(), "print_series: size mismatch");
+
+  auto emit = [&](const char* metric,
+                  const std::function<double(const AlgoMetrics&)>& get,
+                  int precision) {
+    std::vector<std::string> header{x_name};
+    for (const auto& name : algo_order) header.push_back(name);
+    Table table(std::move(header));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      std::vector<double> values;
+      for (const auto& name : algo_order) {
+        const auto it = rows[i].find(name);
+        values.push_back(it == rows[i].end() ? -1.0 : get(it->second));
+      }
+      table.add_row(xs[i], values, precision);
+    }
+    std::printf("## %s: %s\n", experiment.c_str(), metric);
+    table.write_tsv(std::cout);
+    std::printf("\n");
+    table.write_aligned(std::cout);
+    std::printf("\n");
+  };
+
+  emit("relative improvement (mean over graphs; missing = -1)",
+       [](const AlgoMetrics& m) { return m.improvement.mean(); }, 4);
+  emit("mapper execution time [ms] (mean over graphs; missing = -1)",
+       [](const AlgoMetrics& m) { return m.mapper_seconds.mean() * 1e3; }, 3);
+}
+
+}  // namespace spmap::bench

@@ -1,0 +1,76 @@
+#pragma once
+/// \file harness.hpp
+/// Shared experiment scaffolding for the per-figure bench binaries.
+///
+/// Every experiment follows the paper's protocol (Section IV-A):
+///  * mappers run against an *inner* evaluator (breadth-first schedule
+///    only — the linear-time cost function used during mapping);
+///  * reported makespans use the *reporting* evaluator: minimum over a
+///    breadth-first schedule and 100 random schedules;
+///  * quality is the average positive relative improvement over the all-CPU
+///    mapping (deteriorations count as zero);
+///  * execution time is the wall-clock time of the mapper itself.
+///
+/// Binaries print one TSV block per metric (improvement, execution time)
+/// to stdout plus a human-readable summary, and accept --seed / --graphs /
+/// size flags so paper-scale runs are one flag away.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "mappers/mapper.hpp"
+#include "model/platform.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace spmap::bench {
+
+/// Factory for one algorithm under test. Mapper construction (e.g. the SP
+/// decomposition of the graph) is part of the timed region, matching the
+/// paper's end-to-end execution times.
+struct MapperSpec {
+  std::string name;
+  std::function<std::unique_ptr<Mapper>(const Dag& dag, Rng& rng)> make;
+};
+
+/// One generated test case.
+struct Case {
+  Dag dag;
+  TaskAttrs attrs;
+};
+
+/// Aggregated metrics of one algorithm at one x-value.
+struct AlgoMetrics {
+  Samples improvement;     ///< positive relative improvement per graph
+  Samples mapper_seconds;  ///< wall-clock mapper time per graph
+};
+
+/// Runs every spec on every case; returns metrics keyed by spec name.
+/// `reporting_orders` is the number of random schedules for reported
+/// makespans (paper: 100).
+std::map<std::string, AlgoMetrics> run_point(
+    const std::vector<Case>& cases, const std::vector<MapperSpec>& specs,
+    const Platform& platform, Rng& rng, std::size_t reporting_orders = 100);
+
+/// Standard mapper specs (shared across figures).
+MapperSpec heft_spec();
+MapperSpec peft_spec();
+MapperSpec single_node_spec(bool first_fit);
+MapperSpec series_parallel_spec(bool first_fit);
+MapperSpec nsga2_spec(std::size_t generations);
+MapperSpec wgdp_device_spec(double time_limit_s);
+MapperSpec wgdp_time_spec(double time_limit_s);
+MapperSpec zhouliu_spec(double time_limit_s);
+
+/// Emits the two TSV blocks (improvement / execution time) for a sweep.
+/// `rows[i]` holds the metrics of sweep point `xs[i]`.
+void print_series(const std::string& experiment, const std::string& x_name,
+                  const std::vector<double>& xs,
+                  const std::vector<std::map<std::string, AlgoMetrics>>& rows,
+                  const std::vector<std::string>& algo_order);
+
+}  // namespace spmap::bench

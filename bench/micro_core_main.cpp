@@ -1,0 +1,114 @@
+/// Micro-benchmarks (google-benchmark) of the primitives behind the
+/// experiments: SP graph generation, Algorithm 1 decomposition, the
+/// linear-time model evaluation, subgraph-set construction and the indexed
+/// heap. Not a paper figure — these quantify the building blocks and guard
+/// against performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "model/platform.hpp"
+#include "sched/evaluator.hpp"
+#include "sp/decomposition_forest.hpp"
+#include "sp/subgraph_set.hpp"
+#include "util/indexed_heap.hpp"
+
+namespace {
+
+using namespace spmap;
+
+void BM_GenerateSpDag(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_sp_dag(n, rng));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GenerateSpDag)->Range(16, 1024)->Complexity();
+
+void BM_DecompositionForest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Dag dag = generate_sp_dag(n, rng);
+  for (auto _ : state) {
+    Rng local(3);
+    benchmark::DoNotOptimize(grow_decomposition_forest(dag, local));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecompositionForest)->Range(16, 1024)->Complexity();
+
+void BM_DecompositionForestAlmostSp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const Dag base = generate_sp_dag(n, rng);
+  const Dag dag = add_random_edges(base, n, rng);
+  const auto norm = normalize_source_sink(dag);
+  for (auto _ : state) {
+    Rng local(5);
+    benchmark::DoNotOptimize(grow_decomposition_forest(norm.dag, local));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecompositionForestAlmostSp)->Range(16, 1024)->Complexity();
+
+void BM_SubgraphSet(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Dag dag = generate_sp_dag(n, rng);
+  for (auto _ : state) {
+    Rng local(7);
+    benchmark::DoNotOptimize(series_parallel_subgraphs(dag, local));
+  }
+}
+BENCHMARK(BM_SubgraphSet)->Range(16, 1024);
+
+void BM_EvaluateMakespan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Dag dag = generate_sp_dag(n, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = reference_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+  Mapping mapping(n, DeviceId(0u));
+  for (std::size_t i = 0; i < n; i += 4) {
+    mapping.device[i] = DeviceId(1u);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(mapping));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EvaluateMakespan)->Range(16, 4096)->Complexity(benchmark::oN);
+
+void BM_IndexedHeapChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  IndexedMaxHeap heap(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    heap.push_or_update(k, rng.uniform());
+  }
+  for (auto _ : state) {
+    const std::size_t key = rng.below(n);
+    heap.push_or_update(key, rng.uniform());
+    benchmark::DoNotOptimize(heap.top());
+  }
+}
+BENCHMARK(BM_IndexedHeapChurn)->Range(64, 4096);
+
+void BM_BfsOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  const Dag dag = generate_sp_dag(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_order(dag));
+  }
+}
+BENCHMARK(BM_BfsOrder)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

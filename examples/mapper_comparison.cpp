@@ -1,0 +1,74 @@
+/// Side-by-side comparison of every mapping algorithm in spmap on one
+/// random series-parallel task graph (the paper's Section IV-B setting).
+///
+///   ./example_mapper_comparison [--tasks N] [--seed S] [--milp-limit SEC]
+///
+/// Prints mapping quality (relative improvement over all-CPU), execution
+/// time of the mapper itself, and how many model evaluations it consumed.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mappers/cpu_only.hpp"
+#include "mappers/decomposition.hpp"
+#include "mappers/heft.hpp"
+#include "mappers/milp_mappers.hpp"
+#include "mappers/nsga2.hpp"
+#include "mappers/peft.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace spmap;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"tasks", "seed", "milp-limit"});
+  const auto n = static_cast<std::size_t>(flags.get_int("tasks", 20));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  const double milp_limit = flags.get_double("milp-limit", 5.0);
+
+  Rng rng(seed);
+  const Dag dag = generate_sp_dag(n, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = reference_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost, {.random_orders = 100});
+  const double baseline = eval.default_mapping_makespan();
+
+  std::printf("random series-parallel graph: %zu tasks, %zu edges\n",
+              dag.node_count(), dag.edge_count());
+  std::printf("all-CPU baseline makespan: %.2f ms\n\n", baseline * 1e3);
+
+  MilpMapperParams milp;
+  milp.time_limit_s = milp_limit;
+  Nsga2Params ga;
+  ga.generations = 100;
+
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  mappers.push_back(std::make_unique<CpuOnlyMapper>());
+  mappers.push_back(std::make_unique<HeftMapper>());
+  mappers.push_back(std::make_unique<PeftMapper>());
+  mappers.push_back(std::make_unique<WgdpDeviceMapper>(milp));
+  mappers.push_back(std::make_unique<WgdpTimeMapper>(milp));
+  mappers.push_back(std::make_unique<ZhouLiuMapper>(milp));
+  mappers.push_back(std::make_unique<Nsga2Mapper>(ga));
+  mappers.push_back(make_single_node_mapper(dag, false));
+  mappers.push_back(make_single_node_mapper(dag, true));
+  mappers.push_back(make_series_parallel_mapper(dag, rng, false));
+  mappers.push_back(make_series_parallel_mapper(dag, rng, true));
+
+  Table table({"mapper", "improvement", "mapper time", "evaluations"});
+  for (const auto& mapper : mappers) {
+    WallTimer timer;
+    const MapperResult r = mapper->map(eval);
+    const double elapsed = timer.seconds();
+    const double imp =
+        std::max(0.0, (baseline - r.predicted_makespan) / baseline);
+    table.add_row({mapper->name(), format_double(100.0 * imp, 1) + " %",
+                   format_duration(elapsed), std::to_string(r.evaluations)});
+  }
+  std::puts(table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace spmap {
+
+std::vector<NodeId> topological_order(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  std::vector<std::size_t> indeg(n);
+  for (std::size_t i = 0; i < n; ++i) indeg[i] = dag.in_degree(NodeId(i));
+  // Min-heap on node id for determinism.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push(static_cast<std::uint32_t>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v(ready.top());
+    ready.pop();
+    order.push_back(v);
+    for (EdgeId e : dag.out_edges(v)) {
+      if (--indeg[dag.dst(e).v] == 0) ready.push(dag.dst(e).v);
+    }
+  }
+  require(order.size() == n, "topological_order: graph contains a cycle");
+  return order;
+}
+
+std::vector<std::size_t> node_levels(const Dag& dag) {
+  const auto topo = topological_order(dag);
+  std::vector<std::size_t> level(dag.node_count(), 0);
+  for (NodeId v : topo) {
+    for (EdgeId e : dag.out_edges(v)) {
+      level[dag.dst(e).v] = std::max(level[dag.dst(e).v], level[v.v] + 1);
+    }
+  }
+  return level;
+}
+
+std::vector<NodeId> bfs_order(const Dag& dag) {
+  const auto level = node_levels(dag);
+  std::vector<NodeId> order;
+  order.reserve(dag.node_count());
+  for (std::size_t i = 0; i < dag.node_count(); ++i) order.push_back(NodeId(i));
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (level[a.v] != level[b.v]) return level[a.v] < level[b.v];
+    return a.v < b.v;
+  });
+  return order;
+}
+
+std::vector<NodeId> random_topological_order(const Dag& dag, Rng& rng) {
+  const std::size_t n = dag.node_count();
+  std::vector<std::size_t> indeg(n);
+  std::vector<NodeId> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    indeg[i] = dag.in_degree(NodeId(i));
+    if (indeg[i] == 0) ready.push_back(NodeId(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t k = rng.below(ready.size());
+    const NodeId v = ready[k];
+    ready[k] = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (EdgeId e : dag.out_edges(v)) {
+      if (--indeg[dag.dst(e).v] == 0) ready.push_back(dag.dst(e));
+    }
+  }
+  require(order.size() == n, "random_topological_order: cyclic graph");
+  return order;
+}
+
+std::vector<bool> reachable_set(const Dag& dag, NodeId from) {
+  std::vector<bool> seen(dag.node_count(), false);
+  std::vector<NodeId> stack{from};
+  seen[from.v] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (EdgeId e : dag.out_edges(v)) {
+      const NodeId w = dag.dst(e);
+      if (!seen[w.v]) {
+        seen[w.v] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+bool reachable(const Dag& dag, NodeId from, NodeId to) {
+  return reachable_set(dag, from)[to.v];
+}
+
+std::size_t weakly_connected_components(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::vector<NodeId> stack{NodeId(start)};
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId w) {
+        if (!seen[w.v]) {
+          seen[w.v] = true;
+          stack.push_back(w);
+        }
+      };
+      for (EdgeId e : dag.out_edges(v)) visit(dag.dst(e));
+      for (EdgeId e : dag.in_edges(v)) visit(dag.src(e));
+    }
+  }
+  return components;
+}
+
+namespace {
+
+/// Copies nodes + labels of `dag` into a fresh graph without edges.
+Dag copy_nodes(const Dag& dag) {
+  Dag out;
+  for (std::size_t i = 0; i < dag.node_count(); ++i) {
+    out.add_node(dag.label(NodeId(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Dag remove_duplicate_edges(const Dag& dag) {
+  Dag out = copy_nodes(dag);
+  for (std::size_t i = 0; i < dag.node_count(); ++i) {
+    const NodeId u(i);
+    // Collect the best payload per destination, preserving first-seen order.
+    std::vector<std::pair<NodeId, double>> dsts;
+    for (EdgeId e : dag.out_edges(u)) {
+      const NodeId v = dag.dst(e);
+      auto it = std::find_if(dsts.begin(), dsts.end(),
+                             [&](const auto& p) { return p.first == v; });
+      if (it == dsts.end()) {
+        dsts.emplace_back(v, dag.data_mb(e));
+      } else {
+        it->second = std::max(it->second, dag.data_mb(e));
+      }
+    }
+    for (const auto& [v, mb] : dsts) out.add_edge(u, v, mb);
+  }
+  return out;
+}
+
+Dag transitive_reduction(const Dag& dag) {
+  const Dag simple = remove_duplicate_edges(dag);
+  const auto topo = topological_order(simple);
+  // position in topological order, for ordering checks
+  std::vector<std::size_t> pos(simple.node_count());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i].v] = i;
+
+  Dag out = copy_nodes(simple);
+  for (std::size_t i = 0; i < simple.node_count(); ++i) {
+    const NodeId u(i);
+    // Edge u->v is redundant iff v is reachable from u via a path of
+    // length >= 2, i.e. through some other successor of u.
+    const auto& outs = simple.out_edges(u);
+    for (EdgeId e : outs) {
+      const NodeId v = simple.dst(e);
+      bool redundant = false;
+      for (EdgeId e2 : outs) {
+        const NodeId w = simple.dst(e2);
+        if (w == v) continue;
+        if (pos[w.v] < pos[v.v] && reachable(simple, w, v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) out.add_edge(u, v, simple.data_mb(e));
+    }
+  }
+  return out;
+}
+
+Normalized normalize_source_sink(const Dag& dag) {
+  Normalized result{dag, NodeId::invalid(), NodeId::invalid(), false, false};
+  require(dag.node_count() > 0, "normalize_source_sink: empty graph");
+  const auto srcs = result.dag.sources();
+  const auto snks = result.dag.sinks();
+  require(!srcs.empty() && !snks.empty(),
+          "normalize_source_sink: graph has a cycle");
+
+  if (srcs.size() == 1) {
+    result.source = srcs.front();
+  } else {
+    result.source = result.dag.add_node("__source");
+    result.added_source = true;
+    for (NodeId s : srcs) result.dag.add_edge(result.source, s, 0.0);
+  }
+  if (snks.size() == 1) {
+    result.sink = snks.front();
+  } else {
+    result.sink = result.dag.add_node("__sink");
+    result.added_sink = true;
+    for (NodeId t : snks) result.dag.add_edge(t, result.sink, 0.0);
+  }
+  return result;
+}
+
+std::size_t longest_path_edges(const Dag& dag) {
+  const auto level = node_levels(dag);
+  std::size_t best = 0;
+  for (std::size_t l : level) best = std::max(best, l);
+  return best;
+}
+
+}  // namespace spmap

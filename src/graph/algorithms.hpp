@@ -1,0 +1,67 @@
+#pragma once
+/// \file algorithms.hpp
+/// Core DAG algorithms: topological orders, reachability, transitive
+/// reduction, duplicate-edge removal, longest paths and source/sink
+/// normalization.
+
+#include <optional>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+
+/// Deterministic topological order (Kahn, smallest node id first).
+/// Throws spmap::Error if the graph has a cycle.
+std::vector<NodeId> topological_order(const Dag& dag);
+
+/// Breadth-first (level) topological order: nodes grouped by their longest
+/// distance from any source, id-ordered within a level. This is the paper's
+/// "breadth-first schedule" order (Section IV-A).
+std::vector<NodeId> bfs_order(const Dag& dag);
+
+/// Longest-distance level of each node (sources are level 0).
+std::vector<std::size_t> node_levels(const Dag& dag);
+
+/// Random topological order: Kahn's algorithm with uniform choice among the
+/// ready nodes (used for the paper's "100 randomly generated schedules").
+std::vector<NodeId> random_topological_order(const Dag& dag, Rng& rng);
+
+/// True if `to` is reachable from `from` via directed edges.
+bool reachable(const Dag& dag, NodeId from, NodeId to);
+
+/// For each node, whether it is reachable from `from` (including itself).
+std::vector<bool> reachable_set(const Dag& dag, NodeId from);
+
+/// Number of weakly connected components.
+std::size_t weakly_connected_components(const Dag& dag);
+
+/// Returns a copy of the graph with duplicate (same src, same dst) edges
+/// merged; the surviving edge keeps the maximum payload of its duplicates.
+Dag remove_duplicate_edges(const Dag& dag);
+
+/// Returns the transitive reduction: the unique minimal subgraph of a DAG
+/// with the same reachability. Duplicate edges are removed as a side effect.
+/// O(V * E); intended for generator post-processing, not hot paths.
+Dag transitive_reduction(const Dag& dag);
+
+/// Result of source/sink normalization.
+struct Normalized {
+  Dag dag;                  ///< Graph with exactly one source and one sink.
+  NodeId source;            ///< The (possibly virtual) unique source.
+  NodeId sink;              ///< The (possibly virtual) unique sink.
+  bool added_source = false;  ///< True if `source` is a virtual node.
+  bool added_sink = false;    ///< True if `sink` is a virtual node.
+};
+
+/// Ensures a single start and end node (paper Section III-C: "we may just
+/// insert new start and end nodes"). Virtual nodes are labeled "__source" /
+/// "__sink" and connected with zero-payload edges so they do not perturb the
+/// cost model. Node ids of the original graph are preserved.
+Normalized normalize_source_sink(const Dag& dag);
+
+/// Longest path length in edges (the "depth" of the DAG).
+std::size_t longest_path_edges(const Dag& dag);
+
+}  // namespace spmap

@@ -1,0 +1,86 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+
+namespace spmap {
+
+NodeId Dag::add_node(std::string label) {
+  const NodeId id(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  labels_.push_back(std::move(label));
+  return id;
+}
+
+void Dag::add_nodes(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) add_node();
+}
+
+EdgeId Dag::add_edge(NodeId src, NodeId dst, double data_mb) {
+  check(src);
+  check(dst);
+  require(src != dst, "Dag: self-loop rejected");
+  require(data_mb >= 0.0, "Dag: negative edge payload");
+  const EdgeId id(edges_.size());
+  edges_.push_back({src, dst, data_mb});
+  out_[src.v].push_back(id);
+  in_[dst.v].push_back(id);
+  return id;
+}
+
+bool Dag::has_edge(NodeId from, NodeId to) const {
+  for (EdgeId e : out_edges(from)) {
+    if (dst(e) == to) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Dag::sources() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (in_[i].empty()) out.push_back(NodeId(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::sinks() const {
+  std::vector<NodeId> result;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (out_[i].empty()) result.push_back(NodeId(i));
+  }
+  return result;
+}
+
+double Dag::in_data_mb(NodeId n) const {
+  double sum = 0.0;
+  for (EdgeId e : in_edges(n)) sum += data_mb(e);
+  return sum;
+}
+
+double Dag::out_data_mb(NodeId n) const {
+  double sum = 0.0;
+  for (EdgeId e : out_edges(n)) sum += data_mb(e);
+  return sum;
+}
+
+void Dag::validate() const {
+  // Kahn's algorithm; every node must be emitted or there is a cycle.
+  std::vector<std::size_t> indeg(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) indeg[i] = in_[i].size();
+  std::vector<NodeId> queue;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (indeg[i] == 0) queue.push_back(NodeId(i));
+  }
+  std::size_t emitted = 0;
+  while (!queue.empty()) {
+    const NodeId n = queue.back();
+    queue.pop_back();
+    ++emitted;
+    for (EdgeId e : out_edges(n)) {
+      if (--indeg[dst(e).v] == 0) queue.push_back(dst(e));
+    }
+  }
+  require(emitted == node_count(), "Dag: graph contains a cycle");
+}
+
+}  // namespace spmap

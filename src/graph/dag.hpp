@@ -1,0 +1,114 @@
+#pragma once
+/// \file dag.hpp
+/// Directed acyclic task graph.
+///
+/// `Dag` stores the application task graph of the paper: nodes are tasks,
+/// edges are data dependencies carrying a payload volume in megabytes
+/// (Section IV-B uses a constant 100 MB; the workflow suite uses per-edge
+/// volumes). Adjacency is kept in both directions for O(degree) traversal
+/// either way. Acyclicity is not enforced per edge insert (generators need
+/// intermediate freedom); call `validate()` or `is_acyclic()` after
+/// construction.
+
+#include <string>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "util/error.hpp"
+
+namespace spmap {
+
+/// Default edge payload used throughout the paper's random-graph evaluation.
+inline constexpr double kDefaultEdgeDataMb = 100.0;
+
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Creates a graph with `n` unlabeled nodes and no edges.
+  explicit Dag(std::size_t n) { add_nodes(n); }
+
+  // ---- construction ----
+
+  NodeId add_node(std::string label = {});
+  void add_nodes(std::size_t count);
+  /// Adds a directed edge src -> dst with a data payload in MB.
+  /// Parallel edges are allowed (used transiently by generators).
+  EdgeId add_edge(NodeId src, NodeId dst, double data_mb = kDefaultEdgeDataMb);
+
+  // ---- sizes ----
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  bool empty() const { return out_.empty(); }
+
+  // ---- edge access ----
+
+  NodeId src(EdgeId e) const { return rec(e).src; }
+  NodeId dst(EdgeId e) const { return rec(e).dst; }
+  double data_mb(EdgeId e) const { return rec(e).data_mb; }
+  void set_data_mb(EdgeId e, double mb) { rec(e).data_mb = mb; }
+
+  // ---- adjacency ----
+
+  const std::vector<EdgeId>& out_edges(NodeId n) const {
+    return out_[check(n).v];
+  }
+  const std::vector<EdgeId>& in_edges(NodeId n) const {
+    return in_[check(n).v];
+  }
+  std::size_t out_degree(NodeId n) const { return out_edges(n).size(); }
+  std::size_t in_degree(NodeId n) const { return in_edges(n).size(); }
+
+  /// True if at least one src -> dst edge exists (O(out_degree(src))).
+  bool has_edge(NodeId src, NodeId dst) const;
+
+  // ---- labels ----
+
+  const std::string& label(NodeId n) const { return labels_[check(n).v]; }
+  void set_label(NodeId n, std::string label) {
+    labels_[check(n).v] = std::move(label);
+  }
+
+  // ---- whole-graph queries ----
+
+  /// All nodes with in-degree zero, in id order.
+  std::vector<NodeId> sources() const;
+  /// All nodes with out-degree zero, in id order.
+  std::vector<NodeId> sinks() const;
+
+  /// Total data volume entering node `n` (MB).
+  double in_data_mb(NodeId n) const;
+  /// Total data volume leaving node `n` (MB).
+  double out_data_mb(NodeId n) const;
+
+  /// Throws spmap::Error if the graph has a cycle or dangling ids.
+  void validate() const;
+
+ private:
+  struct EdgeRec {
+    NodeId src;
+    NodeId dst;
+    double data_mb;
+  };
+
+  NodeId check(NodeId n) const {
+    require(n.v < out_.size(), "Dag: node id out of range");
+    return n;
+  }
+  EdgeRec& rec(EdgeId e) {
+    require(e.v < edges_.size(), "Dag: edge id out of range");
+    return edges_[e.v];
+  }
+  const EdgeRec& rec(EdgeId e) const {
+    require(e.v < edges_.size(), "Dag: edge id out of range");
+    return edges_[e.v];
+  }
+
+  std::vector<EdgeRec> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace spmap

@@ -1,0 +1,107 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+
+namespace spmap {
+
+Dag generate_sp_dag(std::size_t num_nodes, Rng& rng,
+                    const SpGenParams& params) {
+  require(num_nodes >= 2, "generate_sp_dag: need at least 2 nodes");
+  require(params.parallel_probability >= 0.0 &&
+              params.parallel_probability < 1.0,
+          "generate_sp_dag: parallel_probability outside [0, 1)");
+
+  // Grow an edge multiset by series (split an edge with a fresh node) and
+  // parallel (duplicate an edge) operations, starting from a single edge.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}};
+  std::uint32_t next_node = 2;
+  while (next_node < num_nodes) {
+    const std::size_t pick = rng.below(edges.size());
+    if (rng.chance(params.parallel_probability)) {
+      edges.push_back(edges[pick]);
+    } else {
+      const auto [u, v] = edges[pick];
+      const std::uint32_t x = next_node++;
+      edges[pick] = {u, x};
+      edges.push_back({x, v});
+    }
+  }
+
+  Dag multi(num_nodes);
+  for (const auto& [u, v] : edges) {
+    multi.add_edge(NodeId(u), NodeId(v), params.edge_data_mb);
+  }
+  // Paper: "redundant edges are removed from the resulting DAG" — duplicate
+  // parallel edges that were never split collapse into one.
+  Dag out = remove_duplicate_edges(multi);
+  out.validate();
+  return out;
+}
+
+Dag add_random_edges(const Dag& dag, std::size_t extra_edges, Rng& rng,
+                     double edge_data_mb) {
+  Dag out = dag;
+  const auto order = random_topological_order(dag, rng);
+  const std::size_t n = order.size();
+  if (n < 2) return out;
+
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * std::max<std::size_t>(extra_edges, 1);
+  while (added < extra_edges && attempts < max_attempts) {
+    ++attempts;
+    std::size_t i = rng.below(n);
+    std::size_t j = rng.below(n);
+    if (i == j) continue;
+    if (i > j) std::swap(i, j);
+    const NodeId u = order[i];
+    const NodeId v = order[j];
+    if (out.has_edge(u, v)) continue;
+    out.add_edge(u, v, edge_data_mb);
+    ++added;
+  }
+  out.validate();
+  return out;
+}
+
+Dag generate_layered_dag(Rng& rng, const LayeredGenParams& params) {
+  require(params.layers >= 1, "generate_layered_dag: need >= 1 layer");
+  require(params.min_width >= 1 && params.min_width <= params.max_width,
+          "generate_layered_dag: bad width range");
+
+  Dag dag;
+  std::vector<std::vector<NodeId>> layers(params.layers);
+  for (auto& layer : layers) {
+    const std::size_t width = static_cast<std::size_t>(rng.range(
+        static_cast<std::int64_t>(params.min_width),
+        static_cast<std::int64_t>(params.max_width)));
+    for (std::size_t i = 0; i < width; ++i) layer.push_back(dag.add_node());
+  }
+  for (std::size_t l = 0; l + 1 < params.layers; ++l) {
+    for (NodeId u : layers[l]) {
+      bool connected = false;
+      for (NodeId v : layers[l + 1]) {
+        if (rng.chance(params.edge_probability)) {
+          dag.add_edge(u, v, params.edge_data_mb);
+          connected = true;
+        }
+      }
+      if (!connected) {
+        dag.add_edge(u, rng.pick(layers[l + 1]), params.edge_data_mb);
+      }
+    }
+    // Guarantee every next-layer node has an input.
+    for (NodeId v : layers[l + 1]) {
+      if (dag.in_degree(v) == 0) {
+        dag.add_edge(rng.pick(layers[l]), v, params.edge_data_mb);
+      }
+    }
+  }
+  dag.validate();
+  return dag;
+}
+
+}  // namespace spmap

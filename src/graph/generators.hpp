@@ -1,0 +1,54 @@
+#pragma once
+/// \file generators.hpp
+/// Random task-graph generators used by the evaluation (Sections IV-B/IV-C).
+
+#include <cstddef>
+
+#include "graph/dag.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+
+/// Parameters for the random series-parallel generator.
+struct SpGenParams {
+  /// Probability that a growth step is a parallel operation; the paper uses
+  /// a series:parallel ratio of 1:2, i.e. 2/3.
+  double parallel_probability = 2.0 / 3.0;
+  /// Payload assigned to every edge (paper: constant 100 MB).
+  double edge_data_mb = kDefaultEdgeDataMb;
+};
+
+/// Generates a random directed series-parallel DAG with exactly `num_nodes`
+/// nodes (paper Section IV-B): start from a single directed edge and apply
+/// random series (node insertion on an edge) or parallel (edge duplication)
+/// operations in the configured ratio until the node budget is reached;
+/// redundant duplicate edges are removed at the end.
+///
+/// Requires num_nodes >= 2. The result always has a unique source and a
+/// unique sink and is guaranteed to be two-terminal series-parallel.
+Dag generate_sp_dag(std::size_t num_nodes, Rng& rng,
+                    const SpGenParams& params = {});
+
+/// Inserts `extra_edges` new edges into a copy of `dag`, each directed along
+/// a random topological order so the result stays acyclic (paper Section
+/// IV-C, "almost series-parallel" graphs). Duplicate edges are skipped; up to
+/// 20 * extra_edges attempts are made, so on dense graphs fewer edges may be
+/// inserted. Returns the augmented graph.
+Dag add_random_edges(const Dag& dag, std::size_t extra_edges, Rng& rng,
+                     double edge_data_mb = kDefaultEdgeDataMb);
+
+/// Parameters for the layered random DAG generator (stress tests).
+struct LayeredGenParams {
+  std::size_t layers = 5;
+  std::size_t min_width = 1;
+  std::size_t max_width = 6;
+  /// Probability of an edge between consecutive-layer node pairs.
+  double edge_probability = 0.4;
+  double edge_data_mb = kDefaultEdgeDataMb;
+};
+
+/// Random layered DAG: nodes are grouped in layers; edges connect consecutive
+/// layers; every node is connected (no isolated nodes).
+Dag generate_layered_dag(Rng& rng, const LayeredGenParams& params = {});
+
+}  // namespace spmap

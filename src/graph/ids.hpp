@@ -1,0 +1,42 @@
+#pragma once
+/// \file ids.hpp
+/// Strong id types for graph entities.
+///
+/// Nodes, edges and devices are dense 32-bit indices wrapped in distinct
+/// types so they cannot be mixed up at call sites. All per-entity data in
+/// spmap lives in parallel vectors indexed by `id.v`.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace spmap {
+
+template <typename Tag>
+struct Id {
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  std::uint32_t v = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value)
+      : v(static_cast<std::uint32_t>(value)) {}
+
+  constexpr bool valid() const { return v != kInvalid; }
+  static constexpr Id invalid() { return Id(); }
+
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+using NodeId = Id<struct NodeIdTag>;
+using EdgeId = Id<struct EdgeIdTag>;
+using DeviceId = Id<struct DeviceIdTag>;
+
+}  // namespace spmap
+
+template <typename Tag>
+struct std::hash<spmap::Id<Tag>> {
+  std::size_t operator()(const spmap::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};

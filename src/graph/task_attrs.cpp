@@ -1,0 +1,43 @@
+#include "graph/task_attrs.hpp"
+
+namespace spmap {
+
+void TaskAttrs::resize(std::size_t n) {
+  complexity.resize(n, 0.0);
+  parallelizability.resize(n, 1.0);
+  streamability.resize(n, 0.0);
+  area.resize(n, 0.0);
+}
+
+void TaskAttrs::validate(const Dag& dag) const {
+  require(size() == dag.node_count(), "TaskAttrs: size mismatch with graph");
+  require(parallelizability.size() == size() &&
+              streamability.size() == size() && area.size() == size(),
+          "TaskAttrs: inconsistent array sizes");
+  for (std::size_t i = 0; i < size(); ++i) {
+    require(complexity[i] >= 0.0, "TaskAttrs: negative complexity");
+    require(parallelizability[i] >= 0.0 && parallelizability[i] <= 1.0,
+            "TaskAttrs: parallelizability outside [0, 1]");
+    require(streamability[i] >= 0.0, "TaskAttrs: negative streamability");
+    require(area[i] >= 0.0, "TaskAttrs: negative area");
+  }
+}
+
+TaskAttrs random_task_attrs(const Dag& dag, Rng& rng,
+                            const AttrParams& params) {
+  TaskAttrs attrs;
+  const std::size_t n = dag.node_count();
+  attrs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    attrs.complexity[i] =
+        rng.lognormal(params.complexity_mu, params.complexity_sigma);
+    attrs.streamability[i] =
+        rng.lognormal(params.streamability_mu, params.streamability_sigma);
+    attrs.parallelizability[i] =
+        rng.chance(params.perfect_parallel_probability) ? 1.0 : rng.uniform();
+    attrs.area[i] = params.area_per_complexity * attrs.complexity[i];
+  }
+  return attrs;
+}
+
+}  // namespace spmap

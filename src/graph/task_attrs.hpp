@@ -1,0 +1,54 @@
+#pragma once
+/// \file task_attrs.hpp
+/// Per-task model attributes (paper Section IV-B).
+///
+/// Each task carries:
+///  * complexity        — operations per data point (lognormal mu=2, sigma=0.5,
+///                        i.e. 90 % of values in [3, 17], median ~7.4),
+///  * parallelizability — Amdahl fraction in [0, 1]; perfect with probability
+///                        0.5, else uniform,
+///  * streamability     — how well the task maps to FPGA dataflow processing
+///                        (same lognormal as complexity),
+///  * area              — FPGA area demand, proportional to complexity.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+
+/// Struct-of-arrays task attributes, indexed by NodeId.
+struct TaskAttrs {
+  std::vector<double> complexity;
+  std::vector<double> parallelizability;
+  std::vector<double> streamability;
+  std::vector<double> area;
+
+  std::size_t size() const { return complexity.size(); }
+
+  /// Resizes all arrays to `n`, zero-filling new entries (virtual
+  /// source/sink nodes get zero complexity and thus zero cost).
+  void resize(std::size_t n);
+
+  /// Throws spmap::Error unless sized for `dag` with values in range.
+  void validate(const Dag& dag) const;
+};
+
+/// Parameters of the random augmentation of Section IV-B.
+struct AttrParams {
+  double complexity_mu = 2.0;
+  double complexity_sigma = 0.5;
+  double streamability_mu = 2.0;
+  double streamability_sigma = 0.5;
+  double perfect_parallel_probability = 0.5;
+  /// FPGA area demand = area_per_complexity * complexity.
+  double area_per_complexity = 1.0;
+};
+
+/// Draws random attributes for every node of `dag` (paper Section IV-B).
+TaskAttrs random_task_attrs(const Dag& dag, Rng& rng,
+                            const AttrParams& params = {});
+
+}  // namespace spmap

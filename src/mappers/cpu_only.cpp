@@ -1,0 +1,14 @@
+#include "mappers/cpu_only.hpp"
+
+namespace spmap {
+
+MapperResult CpuOnlyMapper::map(const Evaluator& eval) {
+  MapperResult result;
+  result.mapping = eval.default_mapping();
+  const std::size_t before = eval.evaluation_count();
+  result.predicted_makespan = eval.evaluate(result.mapping);
+  result.evaluations = eval.evaluation_count() - before;
+  return result;
+}
+
+}  // namespace spmap

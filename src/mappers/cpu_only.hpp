@@ -1,0 +1,16 @@
+#pragma once
+/// \file cpu_only.hpp
+/// The trivial baseline mapper: every task on the platform's default device.
+/// This is the reference point of the paper's "relative improvement" metric.
+
+#include "mappers/mapper.hpp"
+
+namespace spmap {
+
+class CpuOnlyMapper final : public Mapper {
+ public:
+  std::string name() const override { return "CpuOnly"; }
+  MapperResult map(const Evaluator& eval) override;
+};
+
+}  // namespace spmap

@@ -1,0 +1,230 @@
+#include "mappers/decomposition.hpp"
+
+#include <algorithm>
+
+#include "util/indexed_heap.hpp"
+
+namespace spmap {
+
+namespace {
+
+constexpr double kTiny = 1e-15;
+
+/// One mapping operation: move all nodes of a subgraph onto one device.
+struct OpTable {
+  const SubgraphSet* set;
+  std::size_t device_count;
+
+  std::size_t count() const { return set->size() * device_count; }
+  const std::vector<NodeId>& nodes(std::size_t op) const {
+    return set->subgraphs[op / device_count];
+  }
+  DeviceId device(std::size_t op) const {
+    return DeviceId(op % device_count);
+  }
+
+  /// True if the operation would not change `mapping` at all.
+  bool is_noop(std::size_t op, const Mapping& mapping) const {
+    const DeviceId d = device(op);
+    for (const NodeId n : nodes(op)) {
+      if (mapping[n] != d) return false;
+    }
+    return true;
+  }
+
+  void apply(std::size_t op, Mapping& mapping) const {
+    const DeviceId d = device(op);
+    for (const NodeId n : nodes(op)) mapping[n] = d;
+  }
+
+  /// Applies `op` to `mapping`, saving the previous devices into `undo`.
+  void apply_with_undo(std::size_t op, Mapping& mapping,
+                       std::vector<DeviceId>& undo) const {
+    const auto& ns = nodes(op);
+    undo.resize(ns.size());
+    const DeviceId d = device(op);
+    for (std::size_t k = 0; k < ns.size(); ++k) {
+      undo[k] = mapping[ns[k]];
+      mapping[ns[k]] = d;
+    }
+  }
+
+  void revert(std::size_t op, Mapping& mapping,
+              const std::vector<DeviceId>& undo) const {
+    const auto& ns = nodes(op);
+    for (std::size_t k = 0; k < ns.size(); ++k) mapping[ns[k]] = undo[k];
+  }
+};
+
+}  // namespace
+
+DecompositionMapper::DecompositionMapper(std::string name,
+                                         SubgraphSet subgraphs,
+                                         DecompositionParams params)
+    : name_(std::move(name)),
+      subgraphs_(std::move(subgraphs)),
+      params_(params) {
+  require(!subgraphs_.subgraphs.empty(),
+          "DecompositionMapper: empty subgraph set");
+}
+
+MapperResult DecompositionMapper::map(const Evaluator& eval) {
+  return params_.variant == DecompositionVariant::Basic ? map_basic(eval)
+                                                        : map_threshold(eval);
+}
+
+MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
+  const std::size_t evals_before = eval.evaluation_count();
+  const OpTable ops{&subgraphs_, eval.cost().platform().device_count()};
+  const auto objective = [&](const Mapping& m) {
+    return params_.objective ? params_.objective(eval, m) : eval.evaluate(m);
+  };
+
+  Mapping mapping = eval.default_mapping();
+  double current = objective(mapping);
+  const std::size_t cap = params_.max_iterations
+                              ? params_.max_iterations
+                              : std::max<std::size_t>(16, 2 * mapping.size());
+
+  std::size_t iterations = 0;
+  std::vector<DeviceId> undo;
+  while (iterations < cap) {
+    std::size_t best_op = ops.count();
+    double best_makespan = current;
+    for (std::size_t op = 0; op < ops.count(); ++op) {
+      if (ops.is_noop(op, mapping)) continue;
+      ops.apply_with_undo(op, mapping, undo);
+      const double ms = objective(mapping);
+      ops.revert(op, mapping, undo);
+      if (ms < best_makespan - kTiny) {
+        best_makespan = ms;
+        best_op = op;
+      }
+    }
+    if (best_op == ops.count()) break;  // no improving operation left
+    ops.apply(best_op, mapping);
+    current = best_makespan;
+    ++iterations;
+  }
+
+  MapperResult result;
+  result.predicted_makespan = eval.evaluate(mapping);
+  result.mapping = std::move(mapping);
+  result.iterations = iterations;
+  result.evaluations = eval.evaluation_count() - evals_before;
+  return result;
+}
+
+MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
+  const std::size_t evals_before = eval.evaluation_count();
+  const OpTable ops{&subgraphs_, eval.cost().platform().device_count()};
+  const double gamma = std::max(params_.gamma, 1.0);
+  const auto objective = [&](const Mapping& m) {
+    return params_.objective ? params_.objective(eval, m) : eval.evaluate(m);
+  };
+
+  Mapping mapping = eval.default_mapping();
+  double current = objective(mapping);
+  std::vector<DeviceId> undo;
+
+  // Expected improvement of one operation against the current mapping.
+  auto recompute = [&](std::size_t op) {
+    if (ops.is_noop(op, mapping)) return -kInfeasible;  // never useful
+    ops.apply_with_undo(op, mapping, undo);
+    const double ms = objective(mapping);
+    ops.revert(op, mapping, undo);
+    return current - ms;  // > 0 == improvement
+  };
+
+  // First iteration: evaluate every operation once and fill the priority
+  // queue with the expected improvements (Section III-D).
+  IndexedMaxHeap heap(ops.count());
+  for (std::size_t op = 0; op < ops.count(); ++op) {
+    heap.push_or_update(op, recompute(op));
+  }
+
+  const std::size_t cap = params_.max_iterations
+                              ? params_.max_iterations
+                              : std::max<std::size_t>(16, 2 * mapping.size());
+  std::size_t iterations = 0;
+  std::vector<bool> fresh(ops.count(), false);
+
+  while (iterations < cap) {
+    // Scan operations in order of expected improvement, re-evaluating each
+    // against the current configuration. Once an actual improvement is
+    // found, keep looking only while the next expectation exceeds
+    // best_imp / gamma.
+    std::fill(fresh.begin(), fresh.end(), false);
+    std::size_t best_op = ops.count();
+    double best_imp = 0.0;
+    while (!heap.empty()) {
+      const std::size_t top = heap.top();
+      if (fresh[top]) break;  // exact value on top: nothing stale can win
+      if (best_op != ops.count() && heap.top_priority() <= best_imp / gamma) {
+        break;  // look-ahead cutoff
+      }
+      if (heap.top_priority() <= kTiny && best_op != ops.count()) break;
+      const double imp = recompute(top);
+      heap.push_or_update(top, imp);
+      fresh[top] = true;
+      if (imp > best_imp + kTiny) {
+        best_imp = imp;
+        best_op = top;
+      }
+      if (best_op == ops.count() && heap.top_priority() <= kTiny) {
+        break;  // best expectation is non-positive: no candidate this round
+      }
+    }
+
+    if (best_op == ops.count()) {
+      // Verification sweep (paper: "in the last iteration, we recompute
+      // every possible mapping"): expectations may be stale underestimates.
+      for (std::size_t op = 0; op < ops.count(); ++op) {
+        const double imp = recompute(op);
+        heap.push_or_update(op, imp);
+        if (imp > best_imp + kTiny) {
+          best_imp = imp;
+          best_op = op;
+        }
+      }
+      if (best_op == ops.count()) break;  // verified: no improvement left
+    }
+
+    ops.apply(best_op, mapping);
+    current -= best_imp;
+    // The applied operation is exhausted for now; its expectation resets.
+    heap.push_or_update(best_op, 0.0);
+    ++iterations;
+  }
+
+  MapperResult result;
+  result.predicted_makespan = eval.evaluate(mapping);
+  result.mapping = std::move(mapping);
+  result.iterations = iterations;
+  result.evaluations = eval.evaluation_count() - evals_before;
+  return result;
+}
+
+std::unique_ptr<DecompositionMapper> make_single_node_mapper(const Dag& dag,
+                                                             bool first_fit) {
+  DecompositionParams params;
+  params.variant = first_fit ? DecompositionVariant::Threshold
+                             : DecompositionVariant::Basic;
+  params.gamma = 1.0;
+  return std::make_unique<DecompositionMapper>(
+      first_fit ? "SNFirstFit" : "SingleNode",
+      single_node_subgraphs(dag.node_count()), params);
+}
+
+std::unique_ptr<DecompositionMapper> make_series_parallel_mapper(
+    const Dag& dag, Rng& rng, bool first_fit, CutPolicy policy) {
+  DecompositionParams params;
+  params.variant = first_fit ? DecompositionVariant::Threshold
+                             : DecompositionVariant::Basic;
+  params.gamma = 1.0;
+  return std::make_unique<DecompositionMapper>(
+      first_fit ? "SPFirstFit" : "SeriesParallel",
+      series_parallel_subgraphs(dag, rng, policy), params);
+}
+
+}  // namespace spmap

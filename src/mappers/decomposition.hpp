@@ -1,0 +1,77 @@
+#pragma once
+/// \file decomposition.hpp
+/// Decomposition-based task mapping (paper Section III).
+///
+/// The mapper starts from the default (all-CPU) mapping and greedily
+/// re-maps candidate subgraphs to other devices, accepting a change only
+/// after a full model-based re-evaluation shows it reduces the makespan
+/// (Section III-A). The candidate family is a SubgraphSet: all singletons
+/// for single-node decomposition (III-B) or the operations of a
+/// series-parallel decomposition forest (III-C).
+///
+/// Two search variants (Section III-D):
+///  * Basic      — every iteration evaluates every (subgraph, device)
+///                 operation and applies the best improvement;
+///  * Threshold  — operations are prioritized by their expected improvement
+///                 in an updatable heap; once an improvement `imp` is found,
+///                 only operations whose expected improvement exceeds
+///                 `imp / gamma` are still re-evaluated in this iteration.
+///                 gamma == 1 is the FirstFit heuristic. When an iteration
+///                 finds nothing, every operation is recomputed once more
+///                 before the algorithm terminates.
+///
+/// Both variants never return a mapping worse than the default one.
+
+#include <functional>
+#include <memory>
+
+#include "mappers/mapper.hpp"
+#include "sp/subgraph_set.hpp"
+
+namespace spmap {
+
+enum class DecompositionVariant { Basic, Threshold };
+
+struct DecompositionParams {
+  DecompositionVariant variant = DecompositionVariant::Basic;
+  /// Threshold look-ahead divisor; 1.0 == FirstFit (Section III-D).
+  double gamma = 1.0;
+  /// Cap on improvement iterations; 0 derives the paper's suggestion of one
+  /// iteration per task (times a small safety factor).
+  std::size_t max_iterations = 0;
+  /// Optional custom objective (smaller is better; +inf == infeasible).
+  /// Defaults to the evaluator's makespan. Used by the multi-objective
+  /// scalarization extension (multi_objective.hpp).
+  std::function<double(const Evaluator&, const Mapping&)> objective;
+};
+
+class DecompositionMapper final : public Mapper {
+ public:
+  DecompositionMapper(std::string name, SubgraphSet subgraphs,
+                      DecompositionParams params = {});
+
+  std::string name() const override { return name_; }
+  MapperResult map(const Evaluator& eval) override;
+
+  const SubgraphSet& subgraphs() const { return subgraphs_; }
+
+ private:
+  MapperResult map_basic(const Evaluator& eval) const;
+  MapperResult map_threshold(const Evaluator& eval) const;
+
+  std::string name_;
+  SubgraphSet subgraphs_;
+  DecompositionParams params_;
+};
+
+/// SingleNode / SNFirstFit (paper Sections III-B, IV): singleton subgraphs.
+std::unique_ptr<DecompositionMapper> make_single_node_mapper(
+    const Dag& dag, bool first_fit);
+
+/// SeriesParallel / SPFirstFit (paper Sections III-C, IV): subgraphs from
+/// the Algorithm 1 decomposition forest of `dag`.
+std::unique_ptr<DecompositionMapper> make_series_parallel_mapper(
+    const Dag& dag, Rng& rng, bool first_fit,
+    CutPolicy policy = CutPolicy::Random);
+
+}  // namespace spmap

@@ -1,0 +1,28 @@
+#pragma once
+/// \file heft.hpp
+/// Heterogeneous Earliest Finish Time (Topcuoglu et al. [6]).
+///
+/// Upward ranks are computed from device-averaged execution times and
+/// pair-averaged communication times; tasks are then scheduled in rank order
+/// onto the device minimizing their earliest finish time, with an
+/// insertion-based policy on per-device timelines.
+///
+/// FPGA area budgets are respected greedily: a device whose remaining area
+/// cannot host the task is not considered.
+
+#include "mappers/mapper.hpp"
+
+namespace spmap {
+
+class HeftMapper final : public Mapper {
+ public:
+  std::string name() const override { return "HEFT"; }
+  MapperResult map(const Evaluator& eval) override;
+};
+
+/// Upward rank of every task (exposed for tests and PEFT reuse):
+/// rank_u(i) = w_mean(i) + max over successors j of (c_mean(i,j) +
+/// rank_u(j)).
+std::vector<double> heft_upward_ranks(const CostModel& cost);
+
+}  // namespace spmap

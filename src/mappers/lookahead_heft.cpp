@@ -1,0 +1,171 @@
+#include "mappers/lookahead_heft.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "mappers/heft.hpp"
+#include "sched/timeline.hpp"
+
+namespace spmap {
+
+namespace {
+
+/// Scratch scheduler state that can be copied cheaply for tentative
+/// placements.
+struct SchedState {
+  std::vector<DeviceTimeline> timelines;  // per (device, slot)
+  std::vector<double> finish;
+  Mapping mapping;
+  std::vector<double> fpga_area_used;
+};
+
+struct Placement {
+  DeviceId device;
+  std::size_t slot = 0;
+  double start = 0.0;
+  double eft = kInfeasible;
+};
+
+/// Best insertion-based placement of `v` by plain HEFT's EFT rule.
+Placement best_placement(const CostModel& cost,
+                         const std::vector<std::size_t>& slot_offset,
+                         const SchedState& state, NodeId v) {
+  const Platform& platform = cost.platform();
+  Placement best;
+  best.device = platform.default_device();
+  for (std::size_t d = 0; d < platform.device_count(); ++d) {
+    const DeviceId dev(d);
+    const Device& device = platform.device(dev);
+    if (device.is_fpga() && state.fpga_area_used[d] + cost.area(v) >
+                                device.area_budget) {
+      continue;
+    }
+    double est = 0.0;
+    for (const EdgeId e : cost.dag().in_edges(v)) {
+      const NodeId u = cost.dag().src(e);
+      est = std::max(est, state.finish[u.v] +
+                              cost.transfer_time(e, state.mapping[u], dev));
+    }
+    const double exec = cost.exec_time(v, dev);
+    for (std::size_t s = slot_offset[d]; s < slot_offset[d + 1]; ++s) {
+      const double start = state.timelines[s].earliest_start(est, exec);
+      if (start + exec < best.eft) {
+        best.eft = start + exec;
+        best.device = dev;
+        best.slot = s;
+        best.start = start;
+      }
+    }
+  }
+  return best;
+}
+
+void commit(const CostModel& cost, SchedState& state, NodeId v,
+            const Placement& p) {
+  state.mapping[v] = p.device;
+  state.finish[v.v] = p.eft;
+  state.timelines[p.slot].reserve(p.start, p.eft - p.start);
+  if (cost.platform().device(p.device).is_fpga()) {
+    state.fpga_area_used[p.device.v] += cost.area(v);
+  }
+}
+
+}  // namespace
+
+MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
+  const CostModel& cost = eval.cost();
+  const Dag& dag = cost.dag();
+  const Platform& platform = cost.platform();
+  const std::size_t n = dag.node_count();
+  const std::size_t m = platform.device_count();
+
+  const auto rank = heft_upward_ranks(cost);
+  const auto topo = topological_order(dag);
+  std::vector<std::size_t> topo_pos(n);
+  for (std::size_t i = 0; i < n; ++i) topo_pos[topo[i].v] = i;
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = NodeId(i);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (rank[a.v] != rank[b.v]) return rank[a.v] > rank[b.v];
+    return topo_pos[a.v] < topo_pos[b.v];
+  });
+
+  std::vector<std::size_t> slot_offset(m + 1, 0);
+  for (std::size_t d = 0; d < m; ++d) {
+    slot_offset[d + 1] =
+        slot_offset[d] +
+        std::max<std::size_t>(1, platform.device(DeviceId(d)).slots);
+  }
+
+  SchedState state;
+  state.timelines.resize(slot_offset.back());
+  state.finish.assign(n, 0.0);
+  state.mapping = Mapping(n, platform.default_device());
+  state.fpga_area_used.assign(m, 0.0);
+
+  for (const NodeId v : order) {
+    // Candidate devices for v; judge each by the worst child EFT after
+    // tentatively scheduling all children with plain HEFT.
+    Placement chosen;
+    double chosen_score = kInfeasible;
+    for (std::size_t d = 0; d < m; ++d) {
+      const DeviceId dev(d);
+      const Device& device = platform.device(dev);
+      if (device.is_fpga() && state.fpga_area_used[d] + cost.area(v) >
+                                  device.area_budget) {
+        continue;
+      }
+      // Placement of v on dev (its own best slot).
+      double est = 0.0;
+      for (const EdgeId e : dag.in_edges(v)) {
+        const NodeId u = dag.src(e);
+        est = std::max(est, state.finish[u.v] +
+                                cost.transfer_time(e, state.mapping[u], dev));
+      }
+      const double exec = cost.exec_time(v, dev);
+      Placement p;
+      p.device = dev;
+      for (std::size_t s = slot_offset[d]; s < slot_offset[d + 1]; ++s) {
+        const double start = state.timelines[s].earliest_start(est, exec);
+        if (start + exec < p.eft) {
+          p.eft = start + exec;
+          p.slot = s;
+          p.start = start;
+        }
+      }
+      if (p.eft >= kInfeasible) continue;
+
+      // Tentative: copy the state, commit v, schedule children greedily.
+      SchedState tentative = state;
+      commit(cost, tentative, v, p);
+      double score = p.eft;
+      for (const EdgeId e : dag.out_edges(v)) {
+        const NodeId child = dag.dst(e);
+        const Placement cp =
+            best_placement(cost, slot_offset, tentative, child);
+        if (cp.eft >= kInfeasible) {
+          score = kInfeasible;
+          break;
+        }
+        commit(cost, tentative, child, cp);
+        score = std::max(score, cp.eft);
+      }
+      if (score < chosen_score) {
+        chosen_score = score;
+        chosen = p;
+      }
+    }
+    SPMAP_ASSERT(chosen.eft < kInfeasible);
+    commit(cost, state, v, chosen);
+  }
+
+  MapperResult result;
+  const std::size_t before = eval.evaluation_count();
+  result.predicted_makespan = eval.evaluate(state.mapping);
+  result.evaluations = eval.evaluation_count() - before;
+  result.mapping = std::move(state.mapping);
+  result.iterations = n;
+  return result;
+}
+
+}  // namespace spmap

@@ -1,0 +1,41 @@
+#pragma once
+/// \file mapper.hpp
+/// Common interface of all task-mapping algorithms.
+///
+/// A mapper consumes a model-based Evaluator (graph + attributes + platform
+/// + cost function) and produces a device assignment for every task. Mappers
+/// never see hardware — the evaluator is the single source of truth, which
+/// is the paper's model-based design principle (Section II-B) and makes all
+/// algorithms directly comparable.
+
+#include <memory>
+#include <string>
+
+#include "model/mapping.hpp"
+#include "sched/evaluator.hpp"
+
+namespace spmap {
+
+struct MapperResult {
+  Mapping mapping;
+  /// Makespan of `mapping` as seen by the evaluator passed to map().
+  double predicted_makespan = 0.0;
+  /// Algorithm-specific progress counter (greedy iterations, GA
+  /// generations, B&B nodes, ...).
+  std::size_t iterations = 0;
+  /// Number of single-schedule model evaluations consumed.
+  std::size_t evaluations = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Display name used in experiment tables, e.g. "SPFirstFit".
+  virtual std::string name() const = 0;
+
+  /// Computes a mapping for the evaluator's task graph.
+  virtual MapperResult map(const Evaluator& eval) = 0;
+};
+
+}  // namespace spmap

@@ -1,0 +1,270 @@
+#include "mappers/multi_objective.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+
+namespace spmap {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.makespan <= b.makespan && a.energy <= b.energy;
+  const bool better = a.makespan < b.makespan || a.energy < b.energy;
+  return no_worse && better;
+}
+
+std::vector<ParetoPoint> pareto_filter(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.makespan != b.makespan) return a.makespan < b.makespan;
+              return a.energy < b.energy;
+            });
+  std::vector<ParetoPoint> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (auto& p : points) {
+    if (p.energy < best_energy) {
+      if (!front.empty() && front.back().makespan == p.makespan &&
+          front.back().energy == p.energy) {
+        continue;  // exact duplicate
+      }
+      best_energy = p.energy;
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+namespace {
+
+struct MoIndividual {
+  std::vector<DeviceId> genes;
+  double makespan = kInfeasible;
+  double energy = kInfeasible;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// Deb et al.'s fast non-dominated sorting; assigns ranks (0 = best front).
+void non_dominated_sort(std::vector<MoIndividual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<int> domination_count(n, 0);
+  auto dom = [&](const MoIndividual& a, const MoIndividual& b) {
+    const bool no_worse = a.makespan <= b.makespan && a.energy <= b.energy;
+    const bool better = a.makespan < b.makespan || a.energy < b.energy;
+    return no_worse && better;
+  };
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dom(pop[i], pop[j])) {
+        dominated[i].push_back(j);
+      } else if (dom(pop[j], pop[i])) {
+        ++domination_count[i];
+      }
+    }
+    if (domination_count[i] == 0) {
+      pop[i].rank = 0;
+      current.push_back(i);
+    }
+  }
+  int rank = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      for (const std::size_t j : dominated[i]) {
+        if (--domination_count[j] == 0) {
+          pop[j].rank = rank + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++rank;
+    current = std::move(next);
+  }
+}
+
+/// Crowding distance within each front (boundary points get infinity).
+void assign_crowding(std::vector<MoIndividual>& pop) {
+  for (auto& ind : pop) ind.crowding = 0.0;
+  std::vector<std::size_t> idx(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) idx[i] = i;
+  // Group by rank.
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return pop[a].rank < pop[b].rank;
+  });
+  std::size_t begin = 0;
+  while (begin < idx.size()) {
+    std::size_t end = begin;
+    while (end < idx.size() && pop[idx[end]].rank == pop[idx[begin]].rank) {
+      ++end;
+    }
+    for (const bool by_makespan : {true, false}) {
+      std::sort(idx.begin() + begin, idx.begin() + end,
+                [&](std::size_t a, std::size_t b) {
+                  return by_makespan ? pop[a].makespan < pop[b].makespan
+                                     : pop[a].energy < pop[b].energy;
+                });
+      auto value = [&](std::size_t k) {
+        return by_makespan ? pop[idx[k]].makespan : pop[idx[k]].energy;
+      };
+      const double span = value(end - 1) - value(begin);
+      pop[idx[begin]].crowding = kInfeasible;
+      pop[idx[end - 1]].crowding = kInfeasible;
+      if (span <= 0.0) continue;
+      for (std::size_t k = begin + 1; k + 1 < end; ++k) {
+        pop[idx[k]].crowding += (value(k + 1) - value(k - 1)) / span;
+      }
+    }
+    begin = end;
+  }
+}
+
+/// (rank, crowding) ordering: lower rank, then larger crowding.
+bool nsga_less(const MoIndividual& a, const MoIndividual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace
+
+std::vector<ParetoPoint> MoNsga2Mapper::optimize(const Evaluator& eval) const {
+  const CostModel& cost = eval.cost();
+  const Dag& dag = cost.dag();
+  const Platform& platform = cost.platform();
+  const std::size_t n = dag.node_count();
+  const std::size_t m = platform.device_count();
+
+  Rng rng(params_.seed);
+  const double mutation_rate =
+      params_.mutation_rate > 0.0
+          ? params_.mutation_rate
+          : 1.0 / static_cast<double>(std::max<std::size_t>(n, 1));
+  const std::vector<NodeId> gene_node = bfs_order(dag);
+
+  auto repair = [&](std::vector<DeviceId>& genes) {
+    for (const DeviceId f : platform.fpga_devices()) {
+      const double budget = platform.device(f).area_budget;
+      for (;;) {
+        double used = 0.0;
+        std::size_t worst = n;
+        double worst_area = -1.0;
+        for (std::size_t g = 0; g < n; ++g) {
+          if (genes[g] != f) continue;
+          const double a = cost.area(gene_node[g]);
+          used += a;
+          if (a > worst_area) {
+            worst_area = a;
+            worst = g;
+          }
+        }
+        if (used <= budget || worst == n) break;
+        genes[worst] = platform.default_device();
+      }
+    }
+  };
+
+  auto to_mapping = [&](const std::vector<DeviceId>& genes) {
+    Mapping mp(n, platform.default_device());
+    for (std::size_t g = 0; g < n; ++g) mp[gene_node[g]] = genes[g];
+    return mp;
+  };
+
+  auto evaluate = [&](MoIndividual& ind) {
+    const Mapping mp = to_mapping(ind.genes);
+    ind.makespan = eval.evaluate(mp);
+    ind.energy = mapping_energy_joules(cost, mp, ind.makespan);
+  };
+
+  std::vector<MoIndividual> pop(params_.population);
+  for (std::size_t p = 0; p < pop.size(); ++p) {
+    pop[p].genes.resize(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      pop[p].genes[g] =
+          p == 0 ? platform.default_device() : DeviceId(rng.below(m));
+    }
+    repair(pop[p].genes);
+    evaluate(pop[p]);
+  }
+  non_dominated_sort(pop);
+  assign_crowding(pop);
+
+  auto tournament = [&]() -> const MoIndividual& {
+    const MoIndividual* best = &pop[rng.below(pop.size())];
+    for (std::size_t t = 1; t < params_.tournament; ++t) {
+      const MoIndividual& challenger = pop[rng.below(pop.size())];
+      if (nsga_less(challenger, *best)) best = &challenger;
+    }
+    return *best;
+  };
+
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    std::vector<MoIndividual> offspring;
+    while (offspring.size() < params_.population) {
+      const MoIndividual& pa = tournament();
+      const MoIndividual& pb = tournament();
+      MoIndividual child;
+      child.genes = pa.genes;
+      if (rng.chance(params_.crossover_rate) && n > 1) {
+        const std::size_t cut = 1 + rng.below(n - 1);
+        for (std::size_t g = cut; g < n; ++g) child.genes[g] = pb.genes[g];
+      }
+      for (std::size_t g = 0; g < n; ++g) {
+        if (rng.chance(mutation_rate)) {
+          child.genes[g] = DeviceId(rng.below(m));
+        }
+      }
+      repair(child.genes);
+      evaluate(child);
+      offspring.push_back(std::move(child));
+    }
+    for (auto& child : offspring) pop.push_back(std::move(child));
+    non_dominated_sort(pop);
+    assign_crowding(pop);
+    std::stable_sort(pop.begin(), pop.end(), nsga_less);
+    pop.resize(params_.population);
+  }
+
+  std::vector<ParetoPoint> points;
+  for (const MoIndividual& ind : pop) {
+    if (ind.rank != 0) continue;
+    points.push_back(
+        ParetoPoint{to_mapping(ind.genes), ind.makespan, ind.energy});
+  }
+  return pareto_filter(std::move(points));
+}
+
+std::vector<ParetoPoint> decomposition_pareto_sweep(
+    const Evaluator& eval, const Dag& dag, Rng& rng,
+    const std::vector<double>& weights) {
+  require(!weights.empty(), "decomposition_pareto_sweep: no weights");
+  const CostModel& cost = eval.cost();
+  const Mapping base = eval.default_mapping();
+  const double ms0 = eval.evaluate(base);
+  const double e0 = mapping_energy_joules(cost, base, ms0);
+  require(ms0 > 0.0 && e0 > 0.0,
+          "decomposition_pareto_sweep: degenerate baseline");
+
+  std::vector<ParetoPoint> points;
+  for (const double w : weights) {
+    DecompositionParams params;
+    params.variant = DecompositionVariant::Threshold;
+    params.gamma = 1.0;
+    params.objective = [w, ms0, e0](const Evaluator& ev, const Mapping& m) {
+      const double ms = ev.evaluate(m);
+      if (ms >= kInfeasible) return kInfeasible;
+      const double energy = mapping_energy_joules(ev.cost(), m, ms);
+      return w * ms / ms0 + (1.0 - w) * energy / e0;
+    };
+    DecompositionMapper mapper("SPFirstFit-scalarized",
+                               series_parallel_subgraphs(dag, rng), params);
+    const MapperResult r = mapper.map(eval);
+    const double ms = eval.evaluate(r.mapping);
+    points.push_back(ParetoPoint{
+        r.mapping, ms, mapping_energy_joules(cost, r.mapping, ms)});
+  }
+  return pareto_filter(std::move(points));
+}
+
+}  // namespace spmap

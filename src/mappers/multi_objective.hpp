@@ -1,0 +1,58 @@
+#pragma once
+/// \file multi_objective.hpp
+/// Multi-objective (makespan, energy) task mapping — the extension the
+/// paper points to in Section II-A: NSGA-II is natively multi-objective,
+/// and the decomposition principle transfers via scalarization.
+///
+/// Two optimizers are provided:
+///  * `MoNsga2Mapper` — a faithful NSGA-II (Deb et al. [14]): fast
+///    non-dominated sorting, crowding distance, binary tournament on
+///    (rank, crowding), elitist environmental selection. Returns the final
+///    non-dominated front.
+///  * `decomposition_pareto_sweep` — runs the decomposition mapper on a
+///    family of weighted-sum scalarizations of (makespan, energy) and
+///    returns the non-dominated union, demonstrating that the greedy
+///    model-based replacement principle carries over.
+
+#include <vector>
+
+#include "mappers/decomposition.hpp"
+#include "mappers/nsga2.hpp"
+#include "model/energy.hpp"
+
+namespace spmap {
+
+struct ParetoPoint {
+  Mapping mapping;
+  double makespan = 0.0;
+  double energy = 0.0;
+};
+
+/// Non-dominated subset of `points` (minimization in both objectives),
+/// sorted by ascending makespan; duplicates collapse.
+std::vector<ParetoPoint> pareto_filter(std::vector<ParetoPoint> points);
+
+/// True iff `a` dominates `b` (<= in both objectives, < in at least one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// NSGA-II over (makespan, energy).
+class MoNsga2Mapper {
+ public:
+  explicit MoNsga2Mapper(Nsga2Params params = {}) : params_(params) {}
+
+  /// Returns the non-dominated front of the final population.
+  std::vector<ParetoPoint> optimize(const Evaluator& eval) const;
+
+ private:
+  Nsga2Params params_;
+};
+
+/// Decomposition mapping under weighted-sum scalarizations: for each weight
+/// w in `weights`, minimize w * makespan/ms0 + (1-w) * energy/e0 (both
+/// normalized by the all-CPU baseline) with the series-parallel FirstFit
+/// mapper; returns the non-dominated union of the solutions.
+std::vector<ParetoPoint> decomposition_pareto_sweep(
+    const Evaluator& eval, const Dag& dag, Rng& rng,
+    const std::vector<double>& weights = {0.0, 0.25, 0.5, 0.75, 1.0});
+
+}  // namespace spmap

@@ -1,0 +1,133 @@
+#include "mappers/nsga2.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace spmap {
+
+namespace {
+
+/// An individual: genome (device per topological gene position) + fitness.
+struct Individual {
+  std::vector<DeviceId> genes;
+  double fitness = kInfeasible;
+};
+
+}  // namespace
+
+MapperResult Nsga2Mapper::map(const Evaluator& eval) {
+  const CostModel& cost = eval.cost();
+  const Dag& dag = cost.dag();
+  const Platform& platform = cost.platform();
+  const std::size_t n = dag.node_count();
+  const std::size_t m = platform.device_count();
+  const std::size_t evals_before = eval.evaluation_count();
+
+  Rng rng(params_.seed);
+  const double mutation_rate =
+      params_.mutation_rate > 0.0 ? params_.mutation_rate
+                                  : 1.0 / static_cast<double>(std::max<
+                                        std::size_t>(n, 1));
+
+  // Genome positions follow a breadth-first topological order so that
+  // single-point crossover cuts the graph into a "front" and a "back" part
+  // (the paper's "topologically sorted genome").
+  const std::vector<NodeId> gene_node = bfs_order(dag);
+
+  // Repair: move the largest-area FPGA tasks back to the default device
+  // until every FPGA fits its budget.
+  auto repair = [&](std::vector<DeviceId>& genes) {
+    for (const DeviceId f : platform.fpga_devices()) {
+      const double budget = platform.device(f).area_budget;
+      for (;;) {
+        double used = 0.0;
+        std::size_t worst = n;
+        double worst_area = -1.0;
+        for (std::size_t g = 0; g < n; ++g) {
+          if (genes[g] != f) continue;
+          const double a = cost.area(gene_node[g]);
+          used += a;
+          if (a > worst_area) {
+            worst_area = a;
+            worst = g;
+          }
+        }
+        if (used <= budget || worst == n) break;
+        genes[worst] = platform.default_device();
+      }
+    }
+  };
+
+  auto to_mapping = [&](const std::vector<DeviceId>& genes) {
+    Mapping mp(n, platform.default_device());
+    for (std::size_t g = 0; g < n; ++g) mp[gene_node[g]] = genes[g];
+    return mp;
+  };
+
+  auto evaluate_individual = [&](Individual& ind) {
+    ind.fitness = eval.evaluate(to_mapping(ind.genes));
+  };
+
+  // Initial population: the all-default individual plus random genomes.
+  std::vector<Individual> population(params_.population);
+  for (std::size_t p = 0; p < population.size(); ++p) {
+    auto& ind = population[p];
+    ind.genes.resize(n);
+    for (std::size_t g = 0; g < n; ++g) {
+      ind.genes[g] = p == 0 ? platform.default_device()
+                            : DeviceId(rng.below(m));
+    }
+    repair(ind.genes);
+    evaluate_individual(ind);
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* best = &population[rng.below(population.size())];
+    for (std::size_t t = 1; t < params_.tournament; ++t) {
+      const Individual& challenger = population[rng.below(population.size())];
+      if (challenger.fitness < best->fitness) best = &challenger;
+    }
+    return *best;
+  };
+
+  std::vector<Individual> offspring;
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    offspring.clear();
+    while (offspring.size() < params_.population) {
+      const Individual& pa = tournament();
+      const Individual& pb = tournament();
+      Individual child;
+      child.genes = pa.genes;
+      if (rng.chance(params_.crossover_rate) && n > 1) {
+        // Single-point crossover on the topological genome.
+        const std::size_t cut = 1 + rng.below(n - 1);
+        for (std::size_t g = cut; g < n; ++g) child.genes[g] = pb.genes[g];
+      }
+      for (std::size_t g = 0; g < n; ++g) {
+        if (rng.chance(mutation_rate)) child.genes[g] = DeviceId(rng.below(m));
+      }
+      repair(child.genes);
+      evaluate_individual(child);
+      offspring.push_back(std::move(child));
+    }
+    // Elitist (mu + lambda) survival: best `population` of parents +
+    // offspring (single-objective NSGA-II truncation).
+    for (auto& child : offspring) population.push_back(std::move(child));
+    std::stable_sort(population.begin(), population.end(),
+                     [](const Individual& a, const Individual& b) {
+                       return a.fitness < b.fitness;
+                     });
+    population.resize(params_.population);
+  }
+
+  const Individual& best = population.front();
+  MapperResult result;
+  result.mapping = to_mapping(best.genes);
+  result.predicted_makespan = best.fitness;
+  result.iterations = params_.generations;
+  result.evaluations = eval.evaluation_count() - evals_before;
+  return result;
+}
+
+}  // namespace spmap

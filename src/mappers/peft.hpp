@@ -1,0 +1,27 @@
+#pragma once
+/// \file peft.hpp
+/// Predict Earliest Finish Time (Arabnejad and Barbosa [8]).
+///
+/// PEFT replaces HEFT's averaged upward rank with an Optimistic Cost Table
+/// (OCT): for every (task, device) pair, the optimistic remaining cost to
+/// finish the application if the task ran on that device. Tasks are
+/// prioritized by their device-averaged OCT, and device selection minimizes
+/// EFT(task, device) + OCT(task, device) — looking one step further ahead
+/// than HEFT, which is why it performs slightly better on complex systems
+/// (Maurya and Tripathi [10]).
+
+#include "mappers/mapper.hpp"
+
+namespace spmap {
+
+class PeftMapper final : public Mapper {
+ public:
+  std::string name() const override { return "PEFT"; }
+  MapperResult map(const Evaluator& eval) override;
+};
+
+/// The optimistic cost table, node-major: oct[node * device_count + device].
+/// Exit tasks have OCT zero everywhere.
+std::vector<double> peft_oct(const CostModel& cost);
+
+}  // namespace spmap

@@ -1,0 +1,171 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace spmap {
+
+namespace {
+
+class Search {
+ public:
+  Search(const MilpModel& model, const MipParams& params)
+      : model_(model), params_(params), deadline_(params.time_limit_s) {}
+
+  MipResult run(const std::vector<double>* warm_start) {
+    if (warm_start && model_.is_feasible(*warm_start, params_.int_tol)) {
+      best_x_ = *warm_start;
+      best_obj_ = model_.objective_value(*warm_start);
+      have_incumbent_ = true;
+    }
+    std::vector<double> lb(model_.var_count());
+    std::vector<double> ub(model_.var_count());
+    for (std::size_t v = 0; v < model_.var_count(); ++v) {
+      lb[v] = model_.lower_bound(static_cast<int>(v));
+      ub[v] = model_.upper_bound(static_cast<int>(v));
+    }
+    complete_ = dfs(lb, ub, 0);
+
+    MipResult result;
+    result.nodes = nodes_;
+    result.timed_out = interrupted_;
+    result.x = best_x_;
+    result.objective = best_obj_;
+    if (have_incumbent_) {
+      result.status = complete_ ? MipStatus::Optimal : MipStatus::Feasible;
+    } else {
+      result.status = complete_ ? MipStatus::Infeasible : MipStatus::NoSolution;
+    }
+    return result;
+  }
+
+ private:
+  /// Returns true if the subtree was fully explored (false on interrupt).
+  bool dfs(std::vector<double>& lb, std::vector<double>& ub, int depth) {
+    if (deadline_.expired() || nodes_ >= params_.max_nodes || depth > 4096) {
+      interrupted_ = true;
+      return false;
+    }
+    ++nodes_;
+
+    const LpResult lp = solve_lp(model_, lb, ub);
+    if (lp.status == LpStatus::Infeasible) return true;
+    if (lp.status != LpStatus::Optimal) {
+      // No usable bound (unbounded relaxation or iteration limit): branch
+      // blindly on the first unfixed integer variable.
+      const int v = first_unfixed_int(lb, ub);
+      if (v < 0) return true;  // nothing to branch on; give up on node
+      return branch(lb, ub, v, 0.5 * (lb[v] + ub[v]), depth);
+    }
+
+    // Bound: prune if the relaxation cannot beat the incumbent.
+    if (have_incumbent_ && lp.objective >= best_obj_ - params_.gap_abs) {
+      return true;
+    }
+
+    // Incumbent heuristic: round integers to nearest and test feasibility.
+    try_rounding(lp.x);
+
+    // Most fractional integer variable.
+    int branch_var = -1;
+    double branch_val = 0.0;
+    double best_frac = params_.int_tol;
+    for (std::size_t v = 0; v < model_.var_count(); ++v) {
+      if (!model_.is_integral_kind(static_cast<int>(v))) continue;
+      const double x = lp.x[v];
+      const double frac = std::abs(x - std::nearbyint(x));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = static_cast<int>(v);
+        branch_val = x;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral LP optimum: new incumbent.
+      update_incumbent(lp.x, lp.objective);
+      return true;
+    }
+    return branch(lb, ub, branch_var, branch_val, depth);
+  }
+
+  bool branch(std::vector<double>& lb, std::vector<double>& ub, int v,
+              double value, int depth) {
+    const double floor_v = std::floor(value);
+    const double old_lb = lb[v];
+    const double old_ub = ub[v];
+    // Dive first towards the side the LP value is closer to.
+    const bool down_first = (value - floor_v) <= 0.5;
+    bool complete = true;
+    for (int side = 0; side < 2; ++side) {
+      const bool down = (side == 0) == down_first;
+      if (down) {
+        ub[v] = std::min(old_ub, floor_v);
+        if (lb[v] <= ub[v]) complete &= dfs(lb, ub, depth + 1);
+        ub[v] = old_ub;
+      } else {
+        lb[v] = std::max(old_lb, floor_v + 1.0);
+        if (lb[v] <= ub[v]) complete &= dfs(lb, ub, depth + 1);
+        lb[v] = old_lb;
+      }
+      if (interrupted_) return false;
+    }
+    return complete;
+  }
+
+  int first_unfixed_int(const std::vector<double>& lb,
+                        const std::vector<double>& ub) const {
+    for (std::size_t v = 0; v < model_.var_count(); ++v) {
+      if (model_.is_integral_kind(static_cast<int>(v)) &&
+          ub[v] - lb[v] > params_.int_tol) {
+        return static_cast<int>(v);
+      }
+    }
+    return -1;
+  }
+
+  void try_rounding(const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    bool any_fractional = false;
+    for (std::size_t v = 0; v < model_.var_count(); ++v) {
+      if (model_.is_integral_kind(static_cast<int>(v))) {
+        const double r = std::nearbyint(rounded[v]);
+        if (std::abs(r - rounded[v]) > params_.int_tol) any_fractional = true;
+        rounded[v] = r;
+      }
+    }
+    if (!any_fractional) return;  // integral solutions handled by caller
+    if (model_.is_feasible(rounded, 1e-6)) {
+      update_incumbent(rounded, model_.objective_value(rounded));
+    }
+  }
+
+  void update_incumbent(const std::vector<double>& x, double obj) {
+    if (!have_incumbent_ || obj < best_obj_) {
+      best_x_ = x;
+      best_obj_ = obj;
+      have_incumbent_ = true;
+    }
+  }
+
+  const MilpModel& model_;
+  const MipParams& params_;
+  Deadline deadline_;
+  std::vector<double> best_x_;
+  double best_obj_ = 0.0;
+  bool have_incumbent_ = false;
+  bool interrupted_ = false;
+  bool complete_ = false;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+MipResult MipSolver::solve(const MilpModel& model,
+                           const std::vector<double>* warm_start) const {
+  Search search(model, params_);
+  return search.run(warm_start);
+}
+
+}  // namespace spmap

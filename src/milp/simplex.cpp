@@ -1,0 +1,340 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spmap {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kFeasTol = 1e-7;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Upper bounds at or above this are treated as +infinity (no bound row).
+constexpr double kUnboundedThreshold = 1e29;
+
+/// Dense two-phase tableau. Rows 0..m-1 are constraints, row m is the
+/// (reduced-cost) objective row. Column layout: structural shifted
+/// variables, then slack/surplus, then artificials, then rhs.
+class Tableau {
+ public:
+  Tableau(const MilpModel& model, const std::vector<double>& lb,
+          const std::vector<double>& ub, std::size_t max_iterations)
+      : model_(model), lb_(lb), ub_(ub), max_iter_(max_iterations) {}
+
+  LpResult solve() {
+    if (!build()) return {LpStatus::Infeasible, 0.0, {}};
+    if (!phase1()) return phase1_failed_result_;
+    const LpStatus status = phase2();
+    LpResult result;
+    result.status = status;
+    if (status == LpStatus::Optimal) {
+      result.x = extract();
+      result.objective = model_.objective_value(result.x);
+    }
+    return result;
+  }
+
+ private:
+  // ---- construction ----
+
+  bool build() {
+    const std::size_t nv = model_.var_count();
+    fixed_.assign(nv, false);
+    col_of_var_.assign(nv, -1);
+    std::size_t free_vars = 0;
+    for (std::size_t v = 0; v < nv; ++v) {
+      require(std::isfinite(lb_[v]),
+              "simplex: variables need finite lower bounds");
+      if (ub_[v] - lb_[v] < kEps) {
+        fixed_[v] = true;  // pinned to its lower bound
+      } else {
+        col_of_var_[v] = static_cast<int>(free_vars++);
+      }
+    }
+    n_struct_ = free_vars;
+
+    // Assemble rows: model rows plus upper-bound rows for free variables
+    // with finite upper bounds.
+    struct RawRow {
+      std::vector<std::pair<int, double>> terms;  // (column, coeff)
+      RowSense sense;
+      double rhs;
+    };
+    std::vector<RawRow> raw;
+    for (const auto& row : model_.rows()) {
+      RawRow r;
+      r.sense = row.sense;
+      r.rhs = row.rhs;
+      // Accumulate coefficients per column; shift fixed/lower bounds into
+      // the rhs.
+      std::vector<double> dense(n_struct_, 0.0);
+      for (const LinTerm& t : row.terms) {
+        r.rhs -= t.coeff * lb_[t.var];
+        if (!fixed_[t.var]) dense[col_of_var_[t.var]] += t.coeff;
+      }
+      bool any = false;
+      for (std::size_t c = 0; c < n_struct_; ++c) {
+        if (std::abs(dense[c]) > kEps) {
+          r.terms.emplace_back(static_cast<int>(c), dense[c]);
+          any = true;
+        }
+      }
+      if (!any) {
+        // Constant row: check consistency and drop.
+        const bool ok = (r.sense == RowSense::Le && 0.0 <= r.rhs + kFeasTol) ||
+                        (r.sense == RowSense::Ge && 0.0 >= r.rhs - kFeasTol) ||
+                        (r.sense == RowSense::Eq &&
+                         std::abs(r.rhs) <= kFeasTol);
+        if (!ok) return false;
+        continue;
+      }
+      raw.push_back(std::move(r));
+    }
+    for (std::size_t v = 0; v < nv; ++v) {
+      if (fixed_[v] || ub_[v] >= kUnboundedThreshold) continue;
+      RawRow r;
+      r.sense = RowSense::Le;
+      r.rhs = ub_[v] - lb_[v];
+      r.terms.emplace_back(col_of_var_[v], 1.0);
+      raw.push_back(std::move(r));
+    }
+
+    // Normalize rhs >= 0.
+    for (RawRow& r : raw) {
+      if (r.rhs < 0.0) {
+        r.rhs = -r.rhs;
+        for (auto& [c, a] : r.terms) a = -a;
+        if (r.sense == RowSense::Le) r.sense = RowSense::Ge;
+        else if (r.sense == RowSense::Ge) r.sense = RowSense::Le;
+      }
+    }
+
+    m_ = raw.size();
+    // Count slack (Le) and surplus+artificial (Ge) and artificial (Eq).
+    std::size_t slacks = 0;
+    std::size_t artificials = 0;
+    for (const RawRow& r : raw) {
+      if (r.sense == RowSense::Le) ++slacks;
+      else if (r.sense == RowSense::Ge) ++slacks, ++artificials;
+      else ++artificials;
+    }
+    n_cols_ = n_struct_ + slacks + artificials;
+    art_begin_ = n_cols_ - artificials;
+    t_.assign((m_ + 1) * (n_cols_ + 1), 0.0);
+    basis_.assign(m_, 0);
+
+    std::size_t slack_col = n_struct_;
+    std::size_t art_col = art_begin_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const RawRow& r = raw[i];
+      for (const auto& [c, coeff] : r.terms) at(i, c) = coeff;
+      rhs(i) = r.rhs;
+      switch (r.sense) {
+        case RowSense::Le:
+          at(i, slack_col) = 1.0;
+          basis_[i] = slack_col++;
+          break;
+        case RowSense::Ge:
+          at(i, slack_col) = -1.0;
+          ++slack_col;
+          at(i, art_col) = 1.0;
+          basis_[i] = art_col++;
+          break;
+        case RowSense::Eq:
+          at(i, art_col) = 1.0;
+          basis_[i] = art_col++;
+          break;
+      }
+    }
+    return true;
+  }
+
+  // ---- phases ----
+
+  bool phase1() {
+    if (art_begin_ == n_cols_) {
+      // No artificials: basis of slacks is already feasible.
+      return true;
+    }
+    // Phase-1 objective: minimize the sum of artificials. Reduced-cost row =
+    // -(sum of rows whose basis is artificial).
+    for (std::size_t j = 0; j <= n_cols_; ++j) at(m_, j) = 0.0;
+    for (std::size_t j = art_begin_; j < n_cols_; ++j) at(m_, j) = 1.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= art_begin_) {
+        for (std::size_t j = 0; j <= n_cols_; ++j) at(m_, j) -= at(i, j);
+      }
+    }
+    const LpStatus status = iterate(/*allow_artificials=*/false);
+    if (status == LpStatus::IterationLimit) {
+      phase1_failed_result_ = {LpStatus::IterationLimit, 0.0, {}};
+      return false;
+    }
+    // Phase-1 optimum is -rhs of the objective row.
+    if (-rhs(m_) > 1e-6) {
+      phase1_failed_result_ = {LpStatus::Infeasible, 0.0, {}};
+      return false;
+    }
+    // Drive leftover artificial basics out (they sit at value ~0).
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < art_begin_) continue;
+      std::size_t pivot_col = n_cols_;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (std::abs(at(i, j)) > 1e-7) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col < n_cols_) {
+        pivot(i, pivot_col);
+      }
+      // Otherwise the row is redundant; the artificial stays basic at zero
+      // and its column is banned from entering, which keeps it at zero.
+    }
+    return true;
+  }
+
+  LpStatus phase2() {
+    // True objective on the shifted structural variables.
+    for (std::size_t j = 0; j <= n_cols_; ++j) at(m_, j) = 0.0;
+    for (std::size_t v = 0; v < model_.var_count(); ++v) {
+      if (!fixed_[v]) {
+        at(m_, col_of_var_[v]) = model_.objective_coeff(static_cast<int>(v));
+      }
+    }
+    // Restore reduced costs w.r.t. the current basis.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = at(m_, basis_[i]);
+      if (std::abs(cb) > kEps) {
+        for (std::size_t j = 0; j <= n_cols_; ++j) at(m_, j) -= cb * at(i, j);
+      }
+    }
+    return iterate(/*allow_artificials=*/false);
+  }
+
+  /// Simplex iterations on the current objective row. Artificial columns
+  /// never re-enter. Returns Optimal/Unbounded/IterationLimit.
+  LpStatus iterate(bool allow_artificials) {
+    const std::size_t enter_limit =
+        allow_artificials ? n_cols_ : art_begin_;
+    std::size_t stall = 0;
+    double last_obj = rhs(m_);
+    for (std::size_t iter = 0; iter < max_iter_; ++iter) {
+      const bool bland = stall > 256;
+      // Entering column: most negative reduced cost (or Bland: first).
+      std::size_t enter = n_cols_;
+      double best = -kEps;
+      for (std::size_t j = 0; j < enter_limit; ++j) {
+        const double r = at(m_, j);
+        if (r < best) {
+          enter = j;
+          best = r;
+          if (bland) break;
+        }
+      }
+      if (enter == n_cols_) return LpStatus::Optimal;
+
+      // Ratio test; Bland tie-break on smallest basis index.
+      std::size_t leave = m_;
+      double best_ratio = kInf;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double a = at(i, enter);
+        if (a > kEps) {
+          const double ratio = rhs(i) / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == m_ || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) return LpStatus::Unbounded;
+      pivot(leave, enter);
+
+      const double obj = rhs(m_);
+      if (obj < last_obj - 1e-12) {
+        stall = 0;
+        last_obj = obj;
+      } else {
+        ++stall;
+      }
+    }
+    return LpStatus::IterationLimit;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = at(row, col);
+    SPMAP_ASSERT(std::abs(p) > kEps);
+    const double inv = 1.0 / p;
+    for (std::size_t j = 0; j <= n_cols_; ++j) at(row, j) *= inv;
+    at(row, col) = 1.0;  // fight rounding
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const double f = at(i, col);
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t j = 0; j <= n_cols_; ++j) {
+        at(i, j) -= f * at(row, j);
+      }
+      at(i, col) = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  std::vector<double> extract() const {
+    std::vector<double> y(n_cols_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) y[basis_[i]] = rhs(i);
+    std::vector<double> x(model_.var_count());
+    for (std::size_t v = 0; v < model_.var_count(); ++v) {
+      x[v] = lb_[v] + (fixed_[v] ? 0.0 : y[col_of_var_[v]]);
+    }
+    return x;
+  }
+
+  double& at(std::size_t i, std::size_t j) {
+    return t_[i * (n_cols_ + 1) + j];
+  }
+  double at(std::size_t i, std::size_t j) const {
+    return t_[i * (n_cols_ + 1) + j];
+  }
+  double& rhs(std::size_t i) { return t_[i * (n_cols_ + 1) + n_cols_]; }
+  double rhs(std::size_t i) const { return t_[i * (n_cols_ + 1) + n_cols_]; }
+
+  const MilpModel& model_;
+  std::vector<double> lb_, ub_;
+  std::size_t max_iter_;
+
+  std::vector<bool> fixed_;
+  std::vector<int> col_of_var_;
+  std::size_t n_struct_ = 0;
+  std::size_t m_ = 0;
+  std::size_t n_cols_ = 0;
+  std::size_t art_begin_ = 0;
+  std::vector<double> t_;
+  std::vector<std::size_t> basis_;
+  LpResult phase1_failed_result_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const MilpModel& model, const std::vector<double>& lb,
+                  const std::vector<double>& ub, std::size_t max_iterations) {
+  require(lb.size() == model.var_count() && ub.size() == model.var_count(),
+          "solve_lp: bound vector size mismatch");
+  Tableau tableau(model, lb, ub, max_iterations);
+  return tableau.solve();
+}
+
+LpResult solve_lp(const MilpModel& model, std::size_t max_iterations) {
+  std::vector<double> lb(model.var_count());
+  std::vector<double> ub(model.var_count());
+  for (std::size_t v = 0; v < model.var_count(); ++v) {
+    lb[v] = model.lower_bound(static_cast<int>(v));
+    ub[v] = model.upper_bound(static_cast<int>(v));
+  }
+  return solve_lp(model, lb, ub, max_iterations);
+}
+
+}  // namespace spmap

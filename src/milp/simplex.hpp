@@ -1,0 +1,38 @@
+#pragma once
+/// \file simplex.hpp
+/// Dense two-phase tableau simplex for the LP relaxations used by the
+/// branch-and-bound solver.
+///
+/// Variables may carry finite or infinite bounds; lower bounds are shifted
+/// away, finite upper bounds become explicit rows. Phase 1 minimizes the sum
+/// of artificial variables; phase 2 minimizes the true objective. Bland's
+/// rule is engaged after a stall to guarantee termination on degenerate
+/// problems. This is an O(rows * cols) per-pivot dense implementation — fit
+/// for the model sizes of the task-mapping formulations (hundreds of rows),
+/// not a general-purpose LP code.
+
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace spmap {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // values for the model's variables
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped) under
+/// overriding bounds `lb`/`ub` (sized var_count; use the model bounds as a
+/// starting point and tighten per branch-and-bound node).
+LpResult solve_lp(const MilpModel& model, const std::vector<double>& lb,
+                  const std::vector<double>& ub,
+                  std::size_t max_iterations = 50000);
+
+/// Convenience: LP relaxation with the model's own bounds.
+LpResult solve_lp(const MilpModel& model, std::size_t max_iterations = 50000);
+
+}  // namespace spmap

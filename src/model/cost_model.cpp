@@ -1,0 +1,112 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+
+namespace spmap {
+
+namespace {
+
+double device_speed_gops(const Device& dev, const TaskAttrs& attrs,
+                         NodeId n) {
+  switch (dev.kind) {
+    case DeviceKind::Cpu:
+    case DeviceKind::Gpu:
+      return dev.lane_gops *
+             amdahl_speedup(attrs.parallelizability[n.v],
+                            dev.lanes_per_slot());
+    case DeviceKind::Fpga:
+      return dev.stream_gops_per_streamability *
+             std::max(attrs.streamability[n.v], 1e-9);
+  }
+  return 1e-9;
+}
+
+}  // namespace
+
+CostModel::CostModel(const Dag& dag, const TaskAttrs& attrs,
+                     const Platform& platform)
+    : dag_(&dag), attrs_(&attrs), platform_(&platform) {
+  attrs.validate(dag);
+  platform.validate();
+  const std::size_t n = dag.node_count();
+  const std::size_t m = platform.device_count();
+
+  data_mb_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node(i);
+    data_mb_[i] = std::max(dag.in_data_mb(node), dag.out_data_mb(node));
+  }
+
+  exec_.resize(n * m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node(i);
+    const double work_mops = attrs.complexity[i] * data_mb_[i];
+    for (std::size_t d = 0; d < m; ++d) {
+      const double speed =
+          device_speed_gops(platform.device(DeviceId(d)), attrs, node);
+      // work is in M point-ops, speed in G point-ops/s.
+      exec_[i * m + d] = work_mops / 1000.0 / speed;
+    }
+  }
+}
+
+double CostModel::mean_exec_time(NodeId n) const {
+  const std::size_t m = platform_->device_count();
+  double sum = 0.0;
+  for (std::size_t d = 0; d < m; ++d) sum += exec_[n.v * m + d];
+  return sum / static_cast<double>(m);
+}
+
+double CostModel::min_exec_time(NodeId n) const {
+  const std::size_t m = platform_->device_count();
+  double best = exec_[n.v * m];
+  for (std::size_t d = 1; d < m; ++d) {
+    best = std::min(best, exec_[n.v * m + d]);
+  }
+  return best;
+}
+
+double CostModel::mean_transfer_time(EdgeId e) const {
+  const std::size_t m = platform_->device_count();
+  if (m < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      sum += transfer_time(e, DeviceId(a), DeviceId(b));
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double CostModel::mapped_area(const Mapping& m, DeviceId d) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.device[i] == d) total += attrs_->area[i];
+  }
+  return total;
+}
+
+bool CostModel::area_feasible(const Mapping& m) const {
+  for (DeviceId f : platform_->fpga_devices()) {
+    if (mapped_area(m, f) > platform_->device(f).area_budget) return false;
+  }
+  return true;
+}
+
+double CostModel::max_serial_time() const {
+  const std::size_t m = platform_->device_count();
+  double total = 0.0;
+  for (std::size_t i = 0; i < dag_->node_count(); ++i) {
+    double worst = 0.0;
+    for (std::size_t d = 0; d < m; ++d) {
+      worst = std::max(worst, exec_[i * m + d]);
+    }
+    total += worst;
+  }
+  return total;
+}
+
+}  // namespace spmap

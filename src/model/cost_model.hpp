@@ -1,0 +1,83 @@
+#pragma once
+/// \file cost_model.hpp
+/// Model-based cost function (paper Sections II-B, IV-A; Wilhelm et al. [5]).
+///
+/// The cost model turns (task graph, task attributes, platform) into
+/// per-task execution times and per-edge transfer times:
+///
+///   work(i)       = complexity(i) * data(i)            [M point-ops]
+///   data(i)       = max(total in-MB, total out-MB)     [MB]
+///   exec(i, d)    = work(i) / speed(i, d)
+///   speed(i, CPU/GPU) = lane_gops * amdahl(parallelizability(i),
+///                                          lanes / slots)
+///   speed(i, FPGA)    = stream_gops_per_streamability * streamability(i)
+///   transfer(e, a, b) = 0 if a == b else latency(a,b) + MB(e)/bandwidth(a,b)
+///
+/// Tasks with zero complexity (e.g. virtual normalization nodes) cost
+/// nothing everywhere. Execution times are precomputed for all (task,
+/// device) pairs, so lookups in the evaluator hot loop are O(1).
+
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "graph/task_attrs.hpp"
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+
+namespace spmap {
+
+class CostModel {
+ public:
+  /// References must outlive the model.
+  CostModel(const Dag& dag, const TaskAttrs& attrs, const Platform& platform);
+
+  const Dag& dag() const { return *dag_; }
+  const TaskAttrs& attrs() const { return *attrs_; }
+  const Platform& platform() const { return *platform_; }
+
+  /// Data volume processed by a task (MB).
+  double task_data_mb(NodeId n) const { return data_mb_[n.v]; }
+
+  /// Execution time of task `n` on device `d` in seconds.
+  double exec_time(NodeId n, DeviceId d) const {
+    return exec_[n.v * platform_->device_count() + d.v];
+  }
+
+  /// Transfer time of edge `e` when producer is on `from`, consumer on `to`.
+  double transfer_time(EdgeId e, DeviceId from, DeviceId to) const {
+    if (from == to) return 0.0;
+    return platform_->latency_s(from, to) +
+           dag_->data_mb(e) / 1000.0 / platform_->bandwidth_gbps(from, to);
+  }
+
+  /// Mean execution time over all devices (HEFT's task weight).
+  double mean_exec_time(NodeId n) const;
+  /// Minimum execution time over all devices.
+  double min_exec_time(NodeId n) const;
+  /// Mean transfer time of edge `e` over all ordered pairs of distinct
+  /// devices (HEFT's average communication cost).
+  double mean_transfer_time(EdgeId e) const;
+
+  /// FPGA area demanded by a task.
+  double area(NodeId n) const { return attrs_->area[n.v]; }
+
+  /// Total area mapped onto device `d` (meaningful for FPGAs).
+  double mapped_area(const Mapping& m, DeviceId d) const;
+
+  /// True iff no FPGA's area budget is exceeded.
+  bool area_feasible(const Mapping& m) const;
+
+  /// Sum over tasks of the maximum execution time over devices — the
+  /// paper's normalization yardstick for cost-function overhead and a
+  /// trivial upper bound for any serial schedule.
+  double max_serial_time() const;
+
+ private:
+  const Dag* dag_;
+  const TaskAttrs* attrs_;
+  const Platform* platform_;
+  std::vector<double> data_mb_;  // per node
+  std::vector<double> exec_;     // node-major [node][device]
+};
+
+}  // namespace spmap

@@ -1,0 +1,22 @@
+#include "model/device.hpp"
+
+#include <algorithm>
+
+namespace spmap {
+
+const char* device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::Cpu: return "CPU";
+    case DeviceKind::Gpu: return "GPU";
+    case DeviceKind::Fpga: return "FPGA";
+  }
+  return "?";
+}
+
+double amdahl_speedup(double p, double n) {
+  p = std::clamp(p, 0.0, 1.0);
+  n = std::max(n, 1.0);
+  return 1.0 / ((1.0 - p) + p / n);
+}
+
+}  // namespace spmap

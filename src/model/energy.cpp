@@ -1,0 +1,34 @@
+#include "model/energy.hpp"
+
+namespace spmap {
+
+double mapping_energy_joules(const CostModel& cost, const Mapping& mapping,
+                             double makespan) {
+  const Platform& platform = cost.platform();
+  const Dag& dag = cost.dag();
+  require(mapping.size() == dag.node_count(),
+          "mapping_energy_joules: mapping size mismatch");
+  require(makespan >= 0.0, "mapping_energy_joules: negative makespan");
+
+  double energy = 0.0;
+  for (const Device& dev : platform.devices()) {
+    energy += dev.idle_watts * makespan;
+  }
+  for (std::size_t i = 0; i < dag.node_count(); ++i) {
+    const NodeId n(i);
+    const Device& dev = platform.device(mapping[n]);
+    energy += (dev.active_watts - dev.idle_watts) *
+              cost.exec_time(n, mapping[n]);
+  }
+  for (std::size_t e = 0; e < dag.edge_count(); ++e) {
+    const EdgeId id(e);
+    const DeviceId from = mapping[dag.src(id)];
+    const DeviceId to = mapping[dag.dst(id)];
+    if (from == to) continue;
+    energy += platform.device(from).transfer_watts *
+              cost.transfer_time(id, from, to);
+  }
+  return energy;
+}
+
+}  // namespace spmap

@@ -1,0 +1,28 @@
+#pragma once
+/// \file energy.hpp
+/// Energy extension of the cost model (paper Section II-A: "the basic
+/// algorithmic ideas presented in this work can easily be transferred to
+/// multi-objective optimization").
+///
+/// Energy of an executed mapping:
+///   E = sum_devices idle_watts * makespan                (static)
+///     + sum_tasks  (active - idle)_watts(dev) * exec     (dynamic compute)
+///     + sum_cross_device_edges transfer_watts(src) * transfer_time
+///                                                        (dynamic I/O)
+///
+/// The static term charges every powered-on device for the whole run, which
+/// is what makes makespan and energy genuinely conflicting objectives:
+/// offloading to a fast but power-hungry GPU shortens the run yet can cost
+/// more energy than the quiet FPGA.
+
+#include "model/cost_model.hpp"
+#include "model/mapping.hpp"
+
+namespace spmap {
+
+/// Energy in joules for running `mapping` with the given makespan.
+/// The makespan must come from the same cost model's evaluation.
+double mapping_energy_joules(const CostModel& cost, const Mapping& mapping,
+                             double makespan);
+
+}  // namespace spmap

@@ -1,0 +1,42 @@
+#pragma once
+/// \file mapping.hpp
+/// A task mapping: one device per task-graph node.
+
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "util/error.hpp"
+
+namespace spmap {
+
+struct Mapping {
+  std::vector<DeviceId> device;
+
+  Mapping() = default;
+  /// Uniform mapping: every one of `n` tasks on device `d`.
+  Mapping(std::size_t n, DeviceId d) : device(n, d) {}
+
+  std::size_t size() const { return device.size(); }
+
+  DeviceId operator[](NodeId n) const {
+    SPMAP_ASSERT(n.v < device.size());
+    return device[n.v];
+  }
+  DeviceId& operator[](NodeId n) {
+    SPMAP_ASSERT(n.v < device.size());
+    return device[n.v];
+  }
+
+  bool operator==(const Mapping&) const = default;
+
+  /// Throws spmap::Error unless sized `n` with all devices < device_count.
+  void validate(std::size_t n, std::size_t device_count) const {
+    require(device.size() == n, "Mapping: size mismatch");
+    for (DeviceId d : device) {
+      require(d.valid() && d.v < device_count,
+              "Mapping: device id out of range");
+    }
+  }
+};
+
+}  // namespace spmap

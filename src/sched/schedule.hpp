@@ -1,0 +1,49 @@
+#pragma once
+/// \file schedule.hpp
+/// Explicit schedules: per-task start/finish times extracted from the
+/// model-based evaluation, with text-Gantt and JSON rendering.
+///
+/// Mappers in spmap produce *mappings*; the concrete timing always comes
+/// from the evaluator (Section II-B: the model is the single source of
+/// truth). This module materializes that timing for inspection, export and
+/// downstream tooling.
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.hpp"
+#include "sched/evaluator.hpp"
+#include "util/json.hpp"
+
+namespace spmap {
+
+struct ScheduledTask {
+  NodeId task;
+  DeviceId device;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> tasks;  ///< ascending by start time, then id
+  double makespan = 0.0;
+
+  /// JSON rendering: {makespan, tasks:[{task,label,device,start,finish}]}.
+  Json to_json(const Dag& dag, const Platform& platform) const;
+
+  /// ASCII Gantt chart, one row per task, `width` columns of timeline.
+  std::string to_gantt(const Dag& dag, const Platform& platform,
+                       std::size_t width = 60) const;
+
+  /// Throws spmap::Error if the schedule violates precedence or overlaps
+  /// more tasks on a device than it has execution slots (streamed FPGA
+  /// stages are exempt from the slot check).
+  void validate(const Dag& dag, const Platform& platform,
+                const Mapping& mapping) const;
+};
+
+/// Extracts the schedule the evaluator's *best* prepared order induces for
+/// `mapping` (ties resolved toward the first such order).
+Schedule extract_schedule(const Evaluator& eval, const Mapping& mapping);
+
+}  // namespace spmap

@@ -1,0 +1,34 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmap {
+
+double DeviceTimeline::earliest_start(double est, double duration) const {
+  double candidate = est;
+  for (const auto& [begin, end] : busy_) {
+    if (candidate + duration <= begin) {
+      return candidate;  // fits in the gap before this interval
+    }
+    candidate = std::max(candidate, end);
+  }
+  return candidate;
+}
+
+void DeviceTimeline::reserve(double start, double duration) {
+  require(duration >= 0.0, "DeviceTimeline: negative duration");
+  const std::pair<double, double> interval{start, start + duration};
+  const auto it = std::lower_bound(busy_.begin(), busy_.end(), interval);
+  // Overlap check against neighbors (zero-length tasks always fit).
+  if (it != busy_.begin()) {
+    SPMAP_ASSERT(std::prev(it)->second <= start + 1e-12);
+  }
+  if (it != busy_.end()) {
+    SPMAP_ASSERT(interval.second <= it->first + 1e-12);
+  }
+  busy_.insert(it, interval);
+}
+
+}  // namespace spmap

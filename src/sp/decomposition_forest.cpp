@@ -1,0 +1,211 @@
+#include "sp/decomposition_forest.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace spmap {
+
+namespace {
+
+using Ix = SpForest::Index;
+
+/// Mutable state of one Algorithm 1 run.
+class Grower {
+ public:
+  Grower(const Dag& dag, Rng& rng, CutPolicy policy)
+      : dag_(dag), rng_(rng), policy_(policy) {
+    indeg_.resize(dag.node_count());
+    for (std::size_t i = 0; i < dag.node_count(); ++i) {
+      indeg_[i] = dag.in_degree(NodeId(i));
+    }
+    consumed_.assign(dag.edge_count(), false);
+  }
+
+  DecompositionResult run(NodeId source) {
+    // GROW_DECOMPOSITION_FOREST: grow a series operation from the virtual
+    // incoming edge (eps, s); the result is the core decomposition tree.
+    Ix core = grow_series(forest_.add_leaf(NodeId::invalid(), source));
+    forest_.add_root(core);
+
+    // Defensive sweep: every real edge must be covered by exactly one leaf.
+    // Anything left over (impossible for well-formed inputs, but cheap to
+    // guarantee) becomes a single-leaf root, equivalent to cutting it.
+    std::size_t orphans = 0;
+    for (std::size_t e = 0; e < dag_.edge_count(); ++e) {
+      if (!consumed_[e]) {
+        const EdgeId id(e);
+        forest_.add_root(
+            forest_.add_leaf(dag_.src(id), dag_.dst(id), id));
+        ++orphans;
+      }
+    }
+    return DecompositionResult{std::move(forest_), cuts_, orphans};
+  }
+
+ private:
+  /// Consumes the unique unconsumed out-edge leaf v -> w, or the virtual
+  /// sink edge (t, eps) when v has no successors.
+  Ix take_leaf(NodeId v, EdgeId e) {
+    SPMAP_ASSERT(!consumed_[e.v]);
+    consumed_[e.v] = true;
+    return forest_.add_leaf(v, dag_.dst(e), e);
+  }
+
+  std::vector<EdgeId> unconsumed_out_edges(NodeId v) const {
+    std::vector<EdgeId> out;
+    for (EdgeId e : dag_.out_edges(v)) {
+      if (!consumed_[e.v]) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// GROW_SERIES (paper lines 6-17): extends `tree` while its end node has
+  /// all inputs inside the tree; forks recurse into grow_parallel.
+  Ix grow_series(Ix tree) {
+    for (;;) {
+      const NodeId v = forest_.end(tree);
+      if (!v.valid()) break;                              // reached eps
+      if (indeg_[v.v] > forest_.outsize(tree)) break;     // external inputs
+      if (dag_.out_degree(v) == 0) {
+        // Unique sink: extend with the virtual outgoing edge (t, eps).
+        tree = forest_.make_series(
+            tree, forest_.add_leaf(v, NodeId::invalid()));
+        break;
+      }
+      const auto outs = unconsumed_out_edges(v);
+      if (outs.empty()) break;  // defensive: nothing left to grow into
+      if (outs.size() == 1) {
+        tree = forest_.make_series(tree, take_leaf(v, outs.front()));
+      } else {
+        tree = forest_.make_series(tree, grow_parallel(v, outs));
+      }
+    }
+    return tree;
+  }
+
+  /// GROW_PARALLEL (paper lines 19-42): wavefront of active subtrees rooted
+  /// at fork node `v`; merge subtrees with equal end nodes, grow the rest,
+  /// cut one subtree when stalled.
+  Ix grow_parallel(NodeId v, const std::vector<EdgeId>& outs) {
+    std::vector<Ix> wave;
+    wave.reserve(outs.size());
+    for (EdgeId e : outs) wave.push_back(take_leaf(v, e));
+
+    for (;;) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        changed |= merge_equal_endpoints(wave);
+        if (wave.size() == 1) return wave.front();
+        for (Ix& t : wave) {
+          const NodeId end_before = forest_.end(t);
+          const std::uint32_t leaves_before = forest_.leaf_count(t);
+          t = grow_series(t);
+          if (forest_.end(t) != end_before ||
+              forest_.leaf_count(t) != leaves_before) {
+            changed = true;
+          }
+        }
+      }
+      // Wavefront stalled: the graph is not series-parallel here. Cut one
+      // active subtree (paper lines 38-40): it becomes its own root and the
+      // expected in-degree of its end node drops by its outsize so the
+      // remaining branches may proceed.
+      const std::size_t pick = choose_cut(wave);
+      const Ix cut = wave[pick];
+      wave.erase(wave.begin() + static_cast<std::ptrdiff_t>(pick));
+      forest_.add_root(cut);
+      ++cuts_;
+      const NodeId end = forest_.end(cut);
+      if (end.valid()) {
+        indeg_[end.v] -= std::min<std::size_t>(indeg_[end.v],
+                                               forest_.outsize(cut));
+      }
+      if (wave.size() == 1) return wave.front();
+    }
+  }
+
+  /// PARALLEL merge step (paper lines 26-28): combine all wavefront subtrees
+  /// with identical end nodes. Returns true if anything merged.
+  bool merge_equal_endpoints(std::vector<Ix>& wave) {
+    // Group by end node id; eps groups under the invalid id.
+    std::map<std::uint32_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      groups[forest_.end(wave[i]).v].push_back(i);
+    }
+    bool merged = false;
+    std::vector<Ix> next;
+    std::vector<bool> taken(wave.size(), false);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      if (taken[i]) continue;
+      const auto& group = groups[forest_.end(wave[i]).v];
+      if (group.size() >= 2) {
+        std::vector<Ix> parts;
+        for (std::size_t k : group) {
+          parts.push_back(wave[k]);
+          taken[k] = true;
+        }
+        next.push_back(forest_.make_parallel(parts));
+        merged = true;
+      } else {
+        next.push_back(wave[i]);
+        taken[i] = true;
+      }
+    }
+    wave = std::move(next);
+    return merged;
+  }
+
+  std::size_t choose_cut(const std::vector<Ix>& wave) {
+    SPMAP_ASSERT(wave.size() >= 2);
+    switch (policy_) {
+      case CutPolicy::Random:
+        return rng_.below(wave.size());
+      case CutPolicy::SmallestSubtree: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < wave.size(); ++i) {
+          if (forest_.leaf_count(wave[i]) < forest_.leaf_count(wave[best])) {
+            best = i;
+          }
+        }
+        return best;
+      }
+      case CutPolicy::LargestSubtree: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < wave.size(); ++i) {
+          if (forest_.leaf_count(wave[i]) > forest_.leaf_count(wave[best])) {
+            best = i;
+          }
+        }
+        return best;
+      }
+      case CutPolicy::FirstActive:
+        return 0;
+    }
+    return 0;
+  }
+
+  const Dag& dag_;
+  Rng& rng_;
+  CutPolicy policy_;
+  SpForest forest_;
+  std::vector<std::size_t> indeg_;
+  std::vector<bool> consumed_;
+  std::size_t cuts_ = 0;
+};
+
+}  // namespace
+
+DecompositionResult grow_decomposition_forest(const Dag& dag, Rng& rng,
+                                              CutPolicy policy) {
+  require(dag.node_count() > 0, "grow_decomposition_forest: empty graph");
+  const auto sources = dag.sources();
+  const auto sinks = dag.sinks();
+  require(sources.size() == 1 && sinks.size() == 1,
+          "grow_decomposition_forest: graph must have unique source and "
+          "sink (use normalize_source_sink)");
+  Grower grower(dag, rng, policy);
+  return grower.run(sources.front());
+}
+
+}  // namespace spmap

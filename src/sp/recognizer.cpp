@@ -1,0 +1,94 @@
+#include "sp/recognizer.hpp"
+
+#include <map>
+#include <vector>
+
+namespace spmap {
+
+bool is_series_parallel(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  if (n == 0) return false;
+  if (n == 1) return dag.edge_count() == 0;
+  const auto sources = dag.sources();
+  const auto sinks = dag.sinks();
+  require(sources.size() == 1 && sinks.size() == 1,
+          "is_series_parallel: graph must have unique source and sink");
+  const NodeId s = sources.front();
+  const NodeId t = sinks.front();
+
+  // Multigraph adjacency with edge multiplicities.
+  std::vector<std::map<std::uint32_t, std::size_t>> out(n);
+  std::vector<std::map<std::uint32_t, std::size_t>> in(n);
+  for (std::size_t e = 0; e < dag.edge_count(); ++e) {
+    const auto u = dag.src(EdgeId(e)).v;
+    const auto v = dag.dst(EdgeId(e)).v;
+    ++out[u][v];
+    ++in[v][u];
+  }
+
+  auto distinct_in = [&](std::uint32_t v) { return in[v].size(); };
+  auto distinct_out = [&](std::uint32_t v) { return out[v].size(); };
+  auto total_in = [&](std::uint32_t v) {
+    std::size_t sum = 0;
+    for (const auto& [u, c] : in[v]) sum += c;
+    return sum;
+  };
+  auto total_out = [&](std::uint32_t v) {
+    std::size_t sum = 0;
+    for (const auto& [w, c] : out[v]) sum += c;
+    return sum;
+  };
+
+  // Worklist of candidate interior nodes for series reduction. Parallel
+  // reduction (duplicate-edge merging) happens implicitly: multiplicities
+  // collapse to "one distinct edge" whenever we test degrees, and series
+  // contraction merges multiplicities additively.
+  std::vector<std::uint32_t> work;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v != s.v && v != t.v) work.push_back(v);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t v : work) {
+      if (in[v].empty() && out[v].empty()) continue;  // already contracted
+      // A series reduction of v needs exactly one distinct predecessor and
+      // one distinct successor, each via exactly one (post-parallel-
+      // reduction) edge.
+      if (distinct_in(v) == 1 && distinct_out(v) == 1) {
+        const std::uint32_t u = in[v].begin()->first;
+        const std::uint32_t w = out[v].begin()->first;
+        // Contract u -> v -> w into u -> w (parallel reduction may later
+        // merge it with an existing u -> w edge).
+        in[v].clear();
+        out[v].clear();
+        out[u].erase(v);
+        in[w].erase(v);
+        ++out[u][w];
+        ++in[w][u];
+        changed = true;
+        next.push_back(u);
+        next.push_back(w);
+      } else {
+        next.push_back(v);
+      }
+    }
+    work = std::move(next);
+    // Drop source/sink from the worklist; they are never contracted.
+    std::erase_if(work, [&](std::uint32_t v) { return v == s.v || v == t.v; });
+  }
+
+  // Series-parallel iff everything contracted into (possibly many parallel
+  // copies of) the single edge s -> t.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v == s.v || v == t.v) continue;
+    if (!in[v].empty() || !out[v].empty()) return false;
+  }
+  return distinct_out(s.v) <= 1 && distinct_in(t.v) <= 1 &&
+         total_out(s.v) >= 1 && total_in(t.v) >= 1 &&
+         out[s.v].begin()->first == t.v;
+}
+
+}  // namespace spmap

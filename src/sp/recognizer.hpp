@@ -1,0 +1,20 @@
+#pragma once
+/// \file recognizer.hpp
+/// Recognition of two-terminal series-parallel DAGs via series/parallel
+/// reductions (Valdes/Tarjan/Lawler style; cf. paper Section II-C).
+///
+/// Independent of Algorithm 1, this provides the ground truth for property
+/// tests: a DAG is two-terminal series-parallel iff it reduces to a single
+/// edge by repeatedly (a) merging duplicate edges and (b) contracting
+/// interior nodes with in-degree 1 and out-degree 1.
+
+#include "graph/dag.hpp"
+
+namespace spmap {
+
+/// True iff `dag` (which must have a unique source and a unique sink — run
+/// normalize_source_sink first if needed) is two-terminal series-parallel.
+/// Graphs with a single node and no edges count as series-parallel.
+bool is_series_parallel(const Dag& dag);
+
+}  // namespace spmap

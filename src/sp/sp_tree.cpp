@@ -1,0 +1,204 @@
+#include "sp/sp_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spmap {
+
+SpForest::Index SpForest::add_leaf(NodeId u, NodeId v, EdgeId edge) {
+  Node n;
+  n.kind = SpKind::Leaf;
+  n.u = u;
+  n.v = v;
+  n.edge = edge;
+  n.outsize = 1;
+  n.leaves = 1;
+  nodes_.push_back(std::move(n));
+  return static_cast<Index>(nodes_.size() - 1);
+}
+
+SpForest::Index SpForest::make_series(Index first, Index second) {
+  require(first != kInvalid && second != kInvalid,
+          "make_series: invalid child");
+  require(node(first).v == node(second).u,
+          "make_series: endpoints do not chain");
+  if (nodes_[first].kind == SpKind::Series) {
+    // Flatten: extend the existing series operation in place.
+    Node& f = nodes_[first];
+    if (nodes_[second].kind == SpKind::Series) {
+      for (Index c : nodes_[second].children) f.children.push_back(c);
+    } else {
+      f.children.push_back(second);
+    }
+    f.v = nodes_[second].v;
+    f.outsize = nodes_[second].outsize;
+    f.leaves += nodes_[second].leaves;
+    return first;
+  }
+  Node n;
+  n.kind = SpKind::Series;
+  n.u = nodes_[first].u;
+  n.v = nodes_[second].v;
+  n.outsize = nodes_[second].outsize;
+  n.leaves = nodes_[first].leaves + nodes_[second].leaves;
+  n.children.push_back(first);
+  if (nodes_[second].kind == SpKind::Series) {
+    for (Index c : nodes_[second].children) n.children.push_back(c);
+    n.leaves = nodes_[first].leaves + nodes_[second].leaves;
+  } else {
+    n.children.push_back(second);
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<Index>(nodes_.size() - 1);
+}
+
+SpForest::Index SpForest::make_parallel(const std::vector<Index>& parts) {
+  require(!parts.empty(), "make_parallel: no parts");
+  if (parts.size() == 1) return parts.front();
+  const NodeId u = node(parts.front()).u;
+  const NodeId v = node(parts.front()).v;
+  Node n;
+  n.kind = SpKind::Parallel;
+  n.u = u;
+  n.v = v;
+  n.outsize = 0;
+  n.leaves = 0;
+  for (Index p : parts) {
+    require(node(p).u == u && node(p).v == v,
+            "make_parallel: endpoint mismatch");
+    n.outsize += nodes_[p].outsize;
+    n.leaves += nodes_[p].leaves;
+    if (nodes_[p].kind == SpKind::Parallel) {
+      // Flatten nested parallel operations.
+      for (Index c : nodes_[p].children) n.children.push_back(c);
+    } else {
+      n.children.push_back(p);
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<Index>(nodes_.size() - 1);
+}
+
+void SpForest::add_root(Index tree) {
+  node(tree);  // bounds check
+  roots_.push_back(tree);
+}
+
+void SpForest::collect_leaves(Index i, std::vector<Index>& out) const {
+  const Node& n = node(i);
+  if (n.kind == SpKind::Leaf) {
+    out.push_back(i);
+    return;
+  }
+  for (Index c : n.children) collect_leaves(c, out);
+}
+
+std::vector<NodeId> SpForest::spanned_nodes(Index i) const {
+  std::vector<Index> leaves;
+  collect_leaves(i, leaves);
+  std::vector<NodeId> out;
+  out.reserve(2 * leaves.size());
+  for (Index l : leaves) {
+    const Node& n = nodes_[l];
+    if (n.u.valid()) out.push_back(n.u);
+    if (n.v.valid()) out.push_back(n.v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<EdgeId> SpForest::edges(Index i) const {
+  std::vector<Index> leaves;
+  collect_leaves(i, leaves);
+  std::vector<EdgeId> out;
+  for (Index l : leaves) {
+    if (nodes_[l].edge.valid()) out.push_back(nodes_[l].edge);
+  }
+  return out;
+}
+
+std::size_t SpForest::total_real_leaves() const {
+  std::size_t total = 0;
+  for (Index r : roots_) total += edges(r).size();
+  return total;
+}
+
+void SpForest::validate_node(const Dag& dag, Index i) const {
+  const Node& n = node(i);
+  switch (n.kind) {
+    case SpKind::Leaf: {
+      require(n.children.empty(), "SpForest: leaf with children");
+      require(n.leaves == 1, "SpForest: leaf count broken");
+      if (n.edge.valid()) {
+        require(dag.src(n.edge) == n.u && dag.dst(n.edge) == n.v,
+                "SpForest: leaf endpoints disagree with edge");
+      }
+      break;
+    }
+    case SpKind::Series: {
+      require(n.children.size() >= 2, "SpForest: series with < 2 children");
+      require(node(n.children.front()).u == n.u,
+              "SpForest: series start mismatch");
+      require(node(n.children.back()).v == n.v,
+              "SpForest: series end mismatch");
+      std::uint32_t leaves = 0;
+      for (std::size_t k = 0; k < n.children.size(); ++k) {
+        const Node& c = node(n.children[k]);
+        require(c.kind != SpKind::Series,
+                "SpForest: unflattened series child");
+        if (k + 1 < n.children.size()) {
+          require(c.v == node(n.children[k + 1]).u,
+                  "SpForest: series children do not chain");
+        }
+        leaves += c.leaves;
+        validate_node(dag, n.children[k]);
+      }
+      require(leaves == n.leaves, "SpForest: series leaf count broken");
+      require(n.outsize == node(n.children.back()).outsize,
+              "SpForest: series outsize broken");
+      break;
+    }
+    case SpKind::Parallel: {
+      require(n.children.size() >= 2, "SpForest: parallel with < 2 children");
+      std::uint32_t leaves = 0;
+      std::uint32_t outsize = 0;
+      for (Index c : n.children) {
+        require(node(c).u == n.u && node(c).v == n.v,
+                "SpForest: parallel endpoint mismatch");
+        require(node(c).kind != SpKind::Parallel,
+                "SpForest: unflattened parallel child");
+        leaves += node(c).leaves;
+        outsize += node(c).outsize;
+        validate_node(dag, c);
+      }
+      require(leaves == n.leaves, "SpForest: parallel leaf count broken");
+      require(outsize == n.outsize, "SpForest: parallel outsize broken");
+      break;
+    }
+  }
+}
+
+void SpForest::validate(const Dag& dag) const {
+  for (Index r : roots_) validate_node(dag, r);
+}
+
+std::string SpForest::to_string(Index i) const {
+  const Node& n = node(i);
+  auto name = [](NodeId id) {
+    return id.valid() ? std::to_string(id.v) : std::string("eps");
+  };
+  if (n.kind == SpKind::Leaf) {
+    return name(n.u) + "-" + name(n.v);
+  }
+  std::ostringstream os;
+  os << (n.kind == SpKind::Series ? 'S' : 'P') << '(';
+  for (std::size_t k = 0; k < n.children.size(); ++k) {
+    if (k) os << ", ";
+    os << to_string(n.children[k]);
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace spmap

@@ -1,0 +1,115 @@
+#pragma once
+/// \file sp_tree.hpp
+/// Series-parallel decomposition trees and forests (paper Section II-C).
+///
+/// A decomposition tree node is either a leaf (an edge of the task graph,
+/// possibly one of the two virtual edges (eps, s) / (t, eps) used by
+/// Algorithm 1), a series operation (children chained end-to-start), or a
+/// parallel operation (children sharing both endpoints). Every tree
+/// represents a subgraph with distinct start and end nodes `u`, `v` and can
+/// be treated equivalently to an edge (u, v) — the paper's `T ^= [u, v]`
+/// notation.
+///
+/// Trees are kept in *flattened* canonical form: a series node never has a
+/// series child and a parallel node never has a parallel child. This matches
+/// the decomposition shown in the paper's Fig. 1 and determines which
+/// subgraphs the mapping candidate set contains.
+///
+/// All trees of a decomposition live in one arena (`SpForest`) and are
+/// referenced by integer indices.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace spmap {
+
+enum class SpKind : std::uint8_t { Leaf, Series, Parallel };
+
+/// Arena of series-parallel decomposition trees.
+class SpForest {
+ public:
+  using Index = std::int32_t;
+  static constexpr Index kInvalid = -1;
+
+  struct Node {
+    SpKind kind = SpKind::Leaf;
+    /// Endpoints of the represented subgraph; NodeId::invalid() encodes the
+    /// virtual endpoint eps of Algorithm 1.
+    NodeId u;
+    NodeId v;
+    /// The task-graph edge for real leaves; invalid for virtual leaves and
+    /// inner operations.
+    EdgeId edge;
+    /// Number of leaf edges in the subtree whose head is `v` — the paper's
+    /// OUTSIZE, used to decide whether a series operation may grow past `v`.
+    std::uint32_t outsize = 1;
+    /// Number of leaves (edges) in the subtree.
+    std::uint32_t leaves = 1;
+    std::vector<Index> children;  // empty for leaves
+  };
+
+  // ---- construction ----
+
+  /// Adds a leaf for edge (u, v); pass EdgeId::invalid() for virtual edges.
+  Index add_leaf(NodeId u, NodeId v, EdgeId edge = EdgeId::invalid());
+
+  /// Chains `first` and `second` in series; requires end(first) == start
+  /// (second). Flattens: if `first` is already a series operation it is
+  /// extended in place and its index is returned.
+  Index make_series(Index first, Index second);
+
+  /// Combines trees with identical endpoints in parallel. Requires
+  /// `parts.size() >= 1`; a single part is returned unchanged. Flattens
+  /// nested parallel children.
+  Index make_parallel(const std::vector<Index>& parts);
+
+  /// Registers a finished tree as a root of the forest.
+  void add_root(Index tree);
+
+  // ---- access ----
+
+  const Node& node(Index i) const {
+    require(i >= 0 && static_cast<std::size_t>(i) < nodes_.size(),
+            "SpForest: index out of range");
+    return nodes_[i];
+  }
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<Index>& roots() const { return roots_; }
+
+  NodeId start(Index i) const { return node(i).u; }
+  NodeId end(Index i) const { return node(i).v; }
+  std::uint32_t outsize(Index i) const { return node(i).outsize; }
+  std::uint32_t leaf_count(Index i) const { return node(i).leaves; }
+
+  /// All distinct task-graph nodes spanned by the subtree (union of real
+  /// leaf endpoints; virtual eps endpoints are skipped). Sorted by id.
+  std::vector<NodeId> spanned_nodes(Index i) const;
+
+  /// All real task-graph edges in the subtree.
+  std::vector<EdgeId> edges(Index i) const;
+
+  /// Total real leaves across all roots.
+  std::size_t total_real_leaves() const;
+
+  /// Structural sanity check against the originating graph: endpoints chain
+  /// correctly, parallel children share endpoints, leaf/outsize counters are
+  /// consistent, and every real leaf references an existing edge with
+  /// matching endpoints. Throws spmap::Error on violation.
+  void validate(const Dag& dag) const;
+
+  /// Compact textual rendering, e.g. "S(0-1, P(1-3, S(1-2, 2-3)))" — for
+  /// debugging and golden tests.
+  std::string to_string(Index i) const;
+
+ private:
+  void collect_leaves(Index i, std::vector<Index>& out) const;
+  void validate_node(const Dag& dag, Index i) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Index> roots_;
+};
+
+}  // namespace spmap

@@ -1,0 +1,68 @@
+#include "sp/subgraph_set.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace spmap {
+
+SubgraphSet single_node_subgraphs(std::size_t node_count) {
+  SubgraphSet set;
+  set.subgraphs.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    set.subgraphs.push_back({NodeId(i)});
+  }
+  return set;
+}
+
+namespace {
+
+void collect_operation_subgraphs(const SpForest& forest, SpForest::Index ix,
+                                 std::size_t real_node_count,
+                                 std::set<std::vector<NodeId>>& unique) {
+  const auto& node = forest.node(ix);
+  if (node.kind == SpKind::Leaf) return;
+
+  std::vector<NodeId> nodes = forest.spanned_nodes(ix);
+  if (node.kind == SpKind::Series) {
+    // Series operations exclude their endpoints: those may have edges to
+    // siblings outside the operation (Section III-C).
+    std::erase_if(nodes, [&](NodeId n) { return n == node.u || n == node.v; });
+  }
+  // Virtual normalization nodes are not mappable tasks.
+  std::erase_if(nodes,
+                [&](NodeId n) { return n.v >= real_node_count; });
+  if (!nodes.empty()) unique.insert(nodes);
+
+  for (SpForest::Index c : node.children) {
+    collect_operation_subgraphs(forest, c, real_node_count, unique);
+  }
+}
+
+}  // namespace
+
+SubgraphSet subgraphs_from_forest(const SpForest& forest,
+                                  std::size_t real_node_count) {
+  std::set<std::vector<NodeId>> unique;
+  for (std::size_t i = 0; i < real_node_count; ++i) {
+    unique.insert({NodeId(i)});
+  }
+  for (SpForest::Index root : forest.roots()) {
+    collect_operation_subgraphs(forest, root, real_node_count, unique);
+  }
+  SubgraphSet set;
+  set.subgraphs.assign(unique.begin(), unique.end());
+  return set;
+}
+
+SubgraphSet series_parallel_subgraphs(const Dag& dag, Rng& rng,
+                                      CutPolicy policy) {
+  const std::size_t real_nodes = dag.node_count();
+  const Normalized norm = normalize_source_sink(dag);
+  const DecompositionResult result =
+      grow_decomposition_forest(norm.dag, rng, policy);
+  return subgraphs_from_forest(result.forest, real_nodes);
+}
+
+}  // namespace spmap

@@ -1,0 +1,47 @@
+#pragma once
+/// \file subgraph_set.hpp
+/// Candidate subgraph sets for decomposition-based mapping (paper Section
+/// III-B/III-C).
+///
+/// A `SubgraphSet` is the linear-size family of node groups a decomposition
+/// mapper is allowed to re-map as a unit:
+///  * single-node decomposition: every task alone;
+///  * series-parallel decomposition: every task alone, plus for every series
+///    operation of the decomposition forest the spanned nodes *without* the
+///    operation's start and end node, plus for every parallel operation the
+///    spanned nodes *including* start and end node.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "sp/decomposition_forest.hpp"
+
+namespace spmap {
+
+/// A family of candidate subgraphs; each subgraph is a sorted, duplicate-free
+/// list of task-graph node ids.
+struct SubgraphSet {
+  std::vector<std::vector<NodeId>> subgraphs;
+
+  std::size_t size() const { return subgraphs.size(); }
+};
+
+/// The single-node candidate set: {{0}, {1}, ..., {n-1}} (Section III-B).
+SubgraphSet single_node_subgraphs(std::size_t node_count);
+
+/// Builds the series-parallel candidate set of Section III-C for an
+/// arbitrary task graph: the graph is source/sink-normalized, decomposed
+/// with Algorithm 1 under `policy`, and the operations of every tree in the
+/// resulting forest contribute subgraphs as described above. Virtual
+/// normalization nodes never appear in any subgraph. The returned set is
+/// deduplicated and always contains all singletons.
+SubgraphSet series_parallel_subgraphs(const Dag& dag, Rng& rng,
+                                      CutPolicy policy = CutPolicy::Random);
+
+/// As above, but reuses an existing decomposition of the (already
+/// normalized) graph; `real_node_count` bounds the ids of non-virtual nodes.
+SubgraphSet subgraphs_from_forest(const SpForest& forest,
+                                  std::size_t real_node_count);
+
+}  // namespace spmap

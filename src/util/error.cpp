@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spmap::detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "spmap assertion failed: %s (%s:%d)\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace spmap::detail

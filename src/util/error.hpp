@@ -1,0 +1,40 @@
+#pragma once
+/// \file error.hpp
+/// Error handling primitives for spmap.
+///
+/// Recoverable misuse of the public API throws spmap::Error; internal
+/// invariants in hot paths are checked with SPMAP_ASSERT, which compiles to a
+/// cheap branch in debug builds and to nothing in NDEBUG builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace spmap {
+
+/// Exception thrown on recoverable misuse of the spmap public API
+/// (malformed graphs, out-of-range ids, infeasible configurations, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws spmap::Error with the given message if `cond` is false.
+inline void require(bool cond, const char* message) {
+  if (!cond) throw Error(message);
+}
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw Error(message);
+}
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace spmap
+
+#ifdef NDEBUG
+#define SPMAP_ASSERT(expr) ((void)0)
+#else
+#define SPMAP_ASSERT(expr) \
+  ((expr) ? (void)0 : ::spmap::detail::assert_fail(#expr, __FILE__, __LINE__))
+#endif

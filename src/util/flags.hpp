@@ -1,0 +1,37 @@
+#pragma once
+/// \file flags.hpp
+/// Minimal command-line flag parser for the bench and example binaries.
+///
+/// Supported syntax: `--name=value`, `--name value`, and bare boolean
+/// `--name`. Unknown flags raise spmap::Error so typos in experiment sweeps
+/// fail loudly instead of silently running the default configuration.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spmap {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class Flags {
+ public:
+  /// Parses argv; `known` lists the accepted flag names (without `--`).
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Parses a comma-separated integer list flag, e.g. `--sizes=5,10,15`.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace spmap

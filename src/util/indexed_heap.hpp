@@ -1,0 +1,132 @@
+#pragma once
+/// \file indexed_heap.hpp
+/// Binary max-heap over dense integer keys with in-place priority updates.
+///
+/// This is the data structure behind the gamma-threshold / FirstFit variants
+/// of decomposition mapping (paper Section III-D): mapping operations are
+/// keyed 0..n-1, prioritized by their expected makespan improvement, and
+/// re-prioritized whenever they are re-evaluated.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmap {
+
+/// Max-heap keyed by dense std::size_t ids with O(log n) push/pop/update and
+/// O(1) contains/priority lookup.
+class IndexedMaxHeap {
+ public:
+  explicit IndexedMaxHeap(std::size_t key_space = 0) { reset(key_space); }
+
+  /// Clears the heap and resizes the key space to [0, key_space).
+  void reset(std::size_t key_space) {
+    heap_.clear();
+    pos_.assign(key_space, npos);
+    prio_.assign(key_space, 0.0);
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t key_space() const { return pos_.size(); }
+
+  bool contains(std::size_t key) const {
+    SPMAP_ASSERT(key < pos_.size());
+    return pos_[key] != npos;
+  }
+
+  double priority(std::size_t key) const {
+    SPMAP_ASSERT(contains(key));
+    return prio_[key];
+  }
+
+  /// Inserts a new key or updates the priority of an existing one.
+  void push_or_update(std::size_t key, double priority) {
+    SPMAP_ASSERT(key < pos_.size());
+    if (pos_[key] == npos) {
+      prio_[key] = priority;
+      pos_[key] = heap_.size();
+      heap_.push_back(key);
+      sift_up(heap_.size() - 1);
+    } else {
+      const double old = prio_[key];
+      prio_[key] = priority;
+      if (priority > old) {
+        sift_up(pos_[key]);
+      } else if (priority < old) {
+        sift_down(pos_[key]);
+      }
+    }
+  }
+
+  /// Key with the highest priority. Requires non-empty.
+  std::size_t top() const {
+    require(!heap_.empty(), "IndexedMaxHeap::top on empty heap");
+    return heap_.front();
+  }
+
+  double top_priority() const { return prio_[top()]; }
+
+  /// Removes and returns the key with the highest priority.
+  std::size_t pop() {
+    const std::size_t key = top();
+    remove(key);
+    return key;
+  }
+
+  /// Removes an arbitrary key from the heap.
+  void remove(std::size_t key) {
+    SPMAP_ASSERT(contains(key));
+    const std::size_t hole = pos_[key];
+    const std::size_t last = heap_.size() - 1;
+    if (hole != last) {
+      heap_[hole] = heap_[last];
+      pos_[heap_[hole]] = hole;
+    }
+    heap_.pop_back();
+    pos_[key] = npos;
+    if (hole < heap_.size()) {
+      const std::size_t moved = heap_[hole];
+      sift_down(hole);
+      if (pos_[moved] == hole) sift_up(hole);
+    }
+  }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (prio_[heap_[i]] <= prio_[heap_[parent]]) break;
+      swap_at(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < heap_.size() && prio_[heap_[l]] > prio_[heap_[best]]) best = l;
+      if (r < heap_.size() && prio_[heap_[r]] > prio_[heap_[best]]) best = r;
+      if (best == i) break;
+      swap_at(i, best);
+      i = best;
+    }
+  }
+
+  void swap_at(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  std::vector<std::size_t> heap_;  // heap of keys
+  std::vector<std::size_t> pos_;   // key -> heap position (npos = absent)
+  std::vector<double> prio_;       // key -> priority
+};
+
+}  // namespace spmap

@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spmap {
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  require(!sorted_.empty(), "Samples::min on empty sample set");
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  require(!sorted_.empty(), "Samples::max on empty sample set");
+  return sorted_.back();
+}
+
+double Samples::quantile(double q) const {
+  ensure_sorted();
+  require(!sorted_.empty(), "Samples::quantile on empty sample set");
+  require(q >= 0.0 && q <= 1.0, "quantile q outside [0, 1]");
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double average_positive_relative_improvement(
+    const std::vector<double>& baselines, const std::vector<double>& values) {
+  require(baselines.size() == values.size(),
+          "improvement: baseline/value size mismatch");
+  if (baselines.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < baselines.size(); ++i) {
+    if (baselines[i] > 0.0) {
+      const double imp = (baselines[i] - values[i]) / baselines[i];
+      if (imp > 0.0) sum += imp;
+    }
+  }
+  return sum / static_cast<double>(baselines.size());
+}
+
+}  // namespace spmap

@@ -1,0 +1,196 @@
+#include "graph/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace spmap {
+namespace {
+
+Dag diamond() {
+  // 0 -> {1, 2} -> 3
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(0), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(3));
+  d.add_edge(NodeId(2), NodeId(3));
+  return d;
+}
+
+TEST(Dag, BasicConstruction) {
+  Dag d;
+  const NodeId a = d.add_node("a");
+  const NodeId b = d.add_node("b");
+  const EdgeId e = d.add_edge(a, b, 50.0);
+  EXPECT_EQ(d.node_count(), 2u);
+  EXPECT_EQ(d.edge_count(), 1u);
+  EXPECT_EQ(d.src(e), a);
+  EXPECT_EQ(d.dst(e), b);
+  EXPECT_DOUBLE_EQ(d.data_mb(e), 50.0);
+  EXPECT_EQ(d.label(a), "a");
+  EXPECT_TRUE(d.has_edge(a, b));
+  EXPECT_FALSE(d.has_edge(b, a));
+}
+
+TEST(Dag, DefaultEdgePayloadIs100Mb) {
+  Dag d(2);
+  const EdgeId e = d.add_edge(NodeId(0), NodeId(1));
+  EXPECT_DOUBLE_EQ(d.data_mb(e), 100.0);
+}
+
+TEST(Dag, Degrees) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.out_degree(NodeId(0)), 2u);
+  EXPECT_EQ(d.in_degree(NodeId(3)), 2u);
+  EXPECT_EQ(d.in_degree(NodeId(0)), 0u);
+  EXPECT_EQ(d.out_degree(NodeId(3)), 0u);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.sources(), std::vector<NodeId>{NodeId(0)});
+  EXPECT_EQ(d.sinks(), std::vector<NodeId>{NodeId(3)});
+}
+
+TEST(Dag, DataVolumes) {
+  Dag d(3);
+  d.add_edge(NodeId(0), NodeId(2), 10.0);
+  d.add_edge(NodeId(1), NodeId(2), 30.0);
+  EXPECT_DOUBLE_EQ(d.in_data_mb(NodeId(2)), 40.0);
+  EXPECT_DOUBLE_EQ(d.out_data_mb(NodeId(0)), 10.0);
+}
+
+TEST(Dag, SelfLoopRejected) {
+  Dag d(1);
+  EXPECT_THROW(d.add_edge(NodeId(0), NodeId(0)), Error);
+}
+
+TEST(Dag, OutOfRangeIdsRejected) {
+  Dag d(1);
+  EXPECT_THROW(d.add_edge(NodeId(0), NodeId(5)), Error);
+  EXPECT_THROW(d.in_edges(NodeId(9)), Error);
+}
+
+TEST(Dag, ValidateDetectsCycle) {
+  Dag d(3);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(2), NodeId(0));
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(Dag, ValidateAcceptsDag) {
+  EXPECT_NO_THROW(diamond().validate());
+}
+
+TEST(GraphAlgorithms, TopologicalOrderRespectsEdges) {
+  const Dag d = diamond();
+  const auto order = topological_order(d);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].v] = i;
+  for (std::size_t e = 0; e < d.edge_count(); ++e) {
+    EXPECT_LT(pos[d.src(EdgeId(e)).v], pos[d.dst(EdgeId(e)).v]);
+  }
+}
+
+TEST(GraphAlgorithms, TopologicalOrderDeterministic) {
+  const Dag d = diamond();
+  EXPECT_EQ(topological_order(d), topological_order(d));
+}
+
+TEST(GraphAlgorithms, BfsOrderGroupsByLevel) {
+  const Dag d = diamond();
+  const auto order = bfs_order(d);
+  EXPECT_EQ(order[0], NodeId(0));
+  EXPECT_EQ(order[3], NodeId(3));
+}
+
+TEST(GraphAlgorithms, NodeLevels) {
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(0), NodeId(3));
+  d.add_edge(NodeId(3), NodeId(2));  // both paths length 2
+  const auto levels = node_levels(d);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 2u);
+}
+
+TEST(GraphAlgorithms, Reachability) {
+  const Dag d = diamond();
+  EXPECT_TRUE(reachable(d, NodeId(0), NodeId(3)));
+  EXPECT_FALSE(reachable(d, NodeId(1), NodeId(2)));
+  EXPECT_TRUE(reachable(d, NodeId(2), NodeId(2)));
+}
+
+TEST(GraphAlgorithms, WeaklyConnectedComponents) {
+  Dag d(5);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(2), NodeId(3));
+  EXPECT_EQ(weakly_connected_components(d), 3u);
+}
+
+TEST(GraphAlgorithms, RemoveDuplicateEdgesKeepsMaxPayload) {
+  Dag d(2);
+  d.add_edge(NodeId(0), NodeId(1), 10.0);
+  d.add_edge(NodeId(0), NodeId(1), 70.0);
+  const Dag simple = remove_duplicate_edges(d);
+  EXPECT_EQ(simple.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(simple.data_mb(EdgeId(0)), 70.0);
+}
+
+TEST(GraphAlgorithms, TransitiveReductionRemovesShortcut) {
+  Dag d(3);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(0), NodeId(2));  // redundant shortcut
+  const Dag reduced = transitive_reduction(d);
+  EXPECT_EQ(reduced.edge_count(), 2u);
+  EXPECT_TRUE(reduced.has_edge(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(reduced.has_edge(NodeId(1), NodeId(2)));
+  EXPECT_FALSE(reduced.has_edge(NodeId(0), NodeId(2)));
+}
+
+TEST(GraphAlgorithms, TransitiveReductionPreservesDiamond) {
+  const Dag reduced = transitive_reduction(diamond());
+  EXPECT_EQ(reduced.edge_count(), 4u);
+}
+
+TEST(GraphAlgorithms, NormalizeAlreadyNormal) {
+  const auto norm = normalize_source_sink(diamond());
+  EXPECT_FALSE(norm.added_source);
+  EXPECT_FALSE(norm.added_sink);
+  EXPECT_EQ(norm.source, NodeId(0));
+  EXPECT_EQ(norm.sink, NodeId(3));
+  EXPECT_EQ(norm.dag.node_count(), 4u);
+}
+
+TEST(GraphAlgorithms, NormalizeAddsVirtualNodes) {
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(3));
+  const auto norm = normalize_source_sink(d);
+  EXPECT_TRUE(norm.added_source);
+  EXPECT_TRUE(norm.added_sink);
+  EXPECT_EQ(norm.dag.node_count(), 6u);
+  EXPECT_EQ(norm.dag.sources().size(), 1u);
+  EXPECT_EQ(norm.dag.sinks().size(), 1u);
+  // Virtual edges carry no payload.
+  for (EdgeId e : norm.dag.out_edges(norm.source)) {
+    EXPECT_DOUBLE_EQ(norm.dag.data_mb(e), 0.0);
+  }
+}
+
+TEST(GraphAlgorithms, LongestPath) {
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(2), NodeId(3));
+  EXPECT_EQ(longest_path_edges(d), 3u);
+  EXPECT_EQ(longest_path_edges(diamond()), 2u);
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,156 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/task_attrs.hpp"
+
+namespace spmap {
+namespace {
+
+TEST(SpGenerator, ExactNodeCount) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 3u, 5u, 20u, 100u}) {
+    const Dag d = generate_sp_dag(n, rng);
+    EXPECT_EQ(d.node_count(), n);
+  }
+}
+
+TEST(SpGenerator, SingleSourceAndSink) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Dag d = generate_sp_dag(30, rng);
+    EXPECT_EQ(d.sources().size(), 1u);
+    EXPECT_EQ(d.sinks().size(), 1u);
+  }
+}
+
+TEST(SpGenerator, NoDuplicateEdges) {
+  Rng rng(3);
+  const Dag d = generate_sp_dag(60, rng);
+  for (std::size_t i = 0; i < d.node_count(); ++i) {
+    const auto& outs = d.out_edges(NodeId(i));
+    for (std::size_t a = 0; a < outs.size(); ++a) {
+      for (std::size_t b = a + 1; b < outs.size(); ++b) {
+        EXPECT_NE(d.dst(outs[a]), d.dst(outs[b]));
+      }
+    }
+  }
+}
+
+TEST(SpGenerator, LinearEdgeComplexity) {
+  // Series-parallel graphs are planar: |E| <= 2|V| - 3 after dedup.
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Dag d = generate_sp_dag(100, rng);
+    EXPECT_LE(d.edge_count(), 2 * d.node_count());
+  }
+}
+
+TEST(SpGenerator, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  const Dag d1 = generate_sp_dag(40, a);
+  const Dag d2 = generate_sp_dag(40, b);
+  ASSERT_EQ(d1.edge_count(), d2.edge_count());
+  for (std::size_t e = 0; e < d1.edge_count(); ++e) {
+    EXPECT_EQ(d1.src(EdgeId(e)), d2.src(EdgeId(e)));
+    EXPECT_EQ(d1.dst(EdgeId(e)), d2.dst(EdgeId(e)));
+  }
+}
+
+TEST(SpGenerator, MinimumSize) {
+  Rng rng(5);
+  const Dag d = generate_sp_dag(2, rng);
+  EXPECT_EQ(d.node_count(), 2u);
+  EXPECT_EQ(d.edge_count(), 1u);
+  EXPECT_THROW(generate_sp_dag(1, rng), Error);
+}
+
+TEST(AlmostSp, AddsRequestedEdges) {
+  Rng rng(11);
+  const Dag base = generate_sp_dag(50, rng);
+  const Dag aug = add_random_edges(base, 25, rng);
+  EXPECT_EQ(aug.node_count(), base.node_count());
+  EXPECT_EQ(aug.edge_count(), base.edge_count() + 25);
+}
+
+TEST(AlmostSp, StaysAcyclic) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) {
+    const Dag base = generate_sp_dag(40, rng);
+    const Dag aug = add_random_edges(base, 60, rng);
+    EXPECT_NO_THROW(aug.validate());
+  }
+}
+
+TEST(AlmostSp, NoDuplicatesIntroduced) {
+  Rng rng(13);
+  const Dag base = generate_sp_dag(30, rng);
+  const Dag aug = add_random_edges(base, 40, rng);
+  for (std::size_t i = 0; i < aug.node_count(); ++i) {
+    const auto& outs = aug.out_edges(NodeId(i));
+    for (std::size_t a = 0; a < outs.size(); ++a) {
+      for (std::size_t b = a + 1; b < outs.size(); ++b) {
+        EXPECT_NE(aug.dst(outs[a]), aug.dst(outs[b]));
+      }
+    }
+  }
+}
+
+TEST(AlmostSp, SaturatedGraphGetsFewer) {
+  // On a tiny graph there are not enough free pairs for many new edges;
+  // the generator must terminate anyway.
+  Rng rng(14);
+  const Dag base = generate_sp_dag(4, rng);
+  const Dag aug = add_random_edges(base, 1000, rng);
+  EXPECT_NO_THROW(aug.validate());
+  EXPECT_LE(aug.edge_count(), 4u * 3u / 2u);
+}
+
+TEST(LayeredGenerator, EveryNodeConnected) {
+  Rng rng(21);
+  LayeredGenParams params;
+  params.layers = 6;
+  params.max_width = 5;
+  const Dag d = generate_layered_dag(rng, params);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(weakly_connected_components(d), 1u)
+      << "layered generator should produce one weak component";
+}
+
+TEST(TaskAttrs, RandomAugmentationRanges) {
+  Rng rng(31);
+  const Dag d = generate_sp_dag(200, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  EXPECT_NO_THROW(attrs.validate(d));
+  int perfect = 0;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_GT(attrs.complexity[i], 0.0);
+    EXPECT_GT(attrs.streamability[i], 0.0);
+    if (attrs.parallelizability[i] == 1.0) ++perfect;
+    EXPECT_DOUBLE_EQ(attrs.area[i], attrs.complexity[i]);
+  }
+  // Roughly half the tasks should be perfectly parallelizable.
+  EXPECT_GT(perfect, 60);
+  EXPECT_LT(perfect, 140);
+}
+
+TEST(TaskAttrs, ValidationCatchesMismatch) {
+  Rng rng(32);
+  const Dag d = generate_sp_dag(10, rng);
+  TaskAttrs attrs = random_task_attrs(d, rng);
+  attrs.complexity.pop_back();
+  EXPECT_THROW(attrs.validate(d), Error);
+}
+
+TEST(TaskAttrs, ValidationCatchesBadParallelizability) {
+  Rng rng(33);
+  const Dag d = generate_sp_dag(5, rng);
+  TaskAttrs attrs = random_task_attrs(d, rng);
+  attrs.parallelizability[0] = 1.5;
+  EXPECT_THROW(attrs.validate(d), Error);
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,59 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace spmap {
+namespace {
+
+TEST(GraphIo, DotContainsAllEdges) {
+  Dag d(3);
+  d.set_label(NodeId(0), "load");
+  d.add_edge(NodeId(0), NodeId(1), 10.0);
+  d.add_edge(NodeId(1), NodeId(2), 20.0);
+  const std::string dot = to_dot(d);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("load"), std::string::npos);
+}
+
+TEST(GraphIo, JsonRoundTrip) {
+  Rng rng(5);
+  const Dag d = generate_sp_dag(25, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+
+  const std::string text = to_json(d, attrs);
+  const TaskGraph back = task_graph_from_json(text);
+
+  ASSERT_EQ(back.dag.node_count(), d.node_count());
+  ASSERT_EQ(back.dag.edge_count(), d.edge_count());
+  for (std::size_t e = 0; e < d.edge_count(); ++e) {
+    EXPECT_EQ(back.dag.src(EdgeId(e)), d.src(EdgeId(e)));
+    EXPECT_EQ(back.dag.dst(EdgeId(e)), d.dst(EdgeId(e)));
+    EXPECT_DOUBLE_EQ(back.dag.data_mb(EdgeId(e)), d.data_mb(EdgeId(e)));
+  }
+  for (std::size_t i = 0; i < d.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(back.attrs.complexity[i], attrs.complexity[i]);
+    EXPECT_DOUBLE_EQ(back.attrs.parallelizability[i],
+                     attrs.parallelizability[i]);
+    EXPECT_DOUBLE_EQ(back.attrs.streamability[i], attrs.streamability[i]);
+    EXPECT_DOUBLE_EQ(back.attrs.area[i], attrs.area[i]);
+  }
+}
+
+TEST(GraphIo, JsonRejectsBadEdge) {
+  const std::string bad = R"({
+    "nodes": [{"label":"a","complexity":1,"parallelizability":1,
+               "streamability":1,"area":1}],
+    "edges": [{"src":0,"dst":5,"data_mb":1}]
+  })";
+  EXPECT_THROW(task_graph_from_json(bad), Error);
+}
+
+TEST(GraphIo, JsonRejectsMissingKey) {
+  EXPECT_THROW(task_graph_from_json("{\"nodes\": []}"), Error);
+}
+
+}  // namespace
+}  // namespace spmap

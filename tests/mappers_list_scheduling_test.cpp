@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mappers/heft.hpp"
+#include "mappers/peft.hpp"
+#include "test_support.hpp"
+
+namespace spmap {
+namespace {
+
+using testing::chain_dag;
+using testing::cpu_fpga_platform;
+using testing::serial_streamable_attrs;
+
+TEST(Heft, UpwardRanksDecreaseAlongChain) {
+  const Dag d = chain_dag(4);
+  const auto attrs = serial_streamable_attrs(4);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const auto rank = heft_upward_ranks(cost);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_GT(rank[i], rank[i + 1]);
+  }
+  // Exit task rank is its own mean execution time.
+  EXPECT_NEAR(rank[3], cost.mean_exec_time(NodeId(3)), 1e-12);
+}
+
+TEST(Heft, ProducesValidMapping) {
+  Rng rng(3);
+  const Dag d = generate_sp_dag(50, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  HeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_NO_THROW(r.mapping.validate(d.node_count(), p.device_count()));
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+}
+
+TEST(Heft, AcceleratesEmbarrassinglyParallelFanOut) {
+  // Source -> 8 independent heavy tasks -> sink. HEFT should offload some
+  // work instead of serializing everything on the CPU.
+  Dag d(10);
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    d.add_edge(NodeId(0), NodeId(i), 100.0);
+    d.add_edge(NodeId(i), NodeId(9), 100.0);
+  }
+  const auto attrs = serial_streamable_attrs(10);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  HeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_LT(r.predicted_makespan, eval.default_mapping_makespan());
+}
+
+TEST(Heft, RespectsFpgaAreaGreedily) {
+  const Dag d = chain_dag(8);
+  const auto attrs = serial_streamable_attrs(8);  // area 10 per task
+  const Platform p = cpu_fpga_platform(1.0, /*fpga_area_budget=*/25.0);
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  HeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+}
+
+TEST(Peft, OctIsZeroForExitTasks) {
+  const Dag d = chain_dag(3);
+  const auto attrs = serial_streamable_attrs(3);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const auto oct = peft_oct(cost);
+  const std::size_t m = p.device_count();
+  for (std::size_t dd = 0; dd < m; ++dd) {
+    EXPECT_DOUBLE_EQ(oct[2 * m + dd], 0.0);
+  }
+  // Interior tasks carry positive optimistic remaining cost.
+  for (std::size_t dd = 0; dd < m; ++dd) {
+    EXPECT_GT(oct[0 * m + dd], 0.0);
+  }
+}
+
+TEST(Peft, ProducesValidMapping) {
+  Rng rng(5);
+  const Dag d = generate_sp_dag(50, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  PeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_NO_THROW(r.mapping.validate(d.node_count(), p.device_count()));
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+}
+
+TEST(Peft, HandlesForkJoinGraphs) {
+  Dag d(6);
+  d.add_edge(NodeId(0), NodeId(1), 100.0);
+  d.add_edge(NodeId(0), NodeId(2), 100.0);
+  d.add_edge(NodeId(1), NodeId(3), 100.0);
+  d.add_edge(NodeId(2), NodeId(4), 100.0);
+  d.add_edge(NodeId(3), NodeId(5), 100.0);
+  d.add_edge(NodeId(4), NodeId(5), 100.0);
+  const auto attrs = serial_streamable_attrs(6);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  PeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+  EXPECT_LE(r.predicted_makespan, eval.default_mapping_makespan() + 1e-9);
+}
+
+TEST(ListScheduling, BothHandleSingleTask) {
+  Dag d(1);
+  TaskAttrs attrs = serial_streamable_attrs(1);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  HeftMapper heft;
+  PeftMapper peft;
+  EXPECT_NO_THROW(heft.map(eval));
+  EXPECT_NO_THROW(peft.map(eval));
+}
+
+}  // namespace
+}  // namespace spmap

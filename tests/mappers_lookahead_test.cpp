@@ -1,0 +1,95 @@
+#include "mappers/lookahead_heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mappers/heft.hpp"
+#include "test_support.hpp"
+
+namespace spmap {
+namespace {
+
+using testing::chain_dag;
+using testing::cpu_fpga_platform;
+using testing::serial_streamable_attrs;
+
+TEST(LookaheadHeft, ProducesValidMapping) {
+  Rng rng(3);
+  const Dag d = generate_sp_dag(40, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  LookaheadHeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_NO_THROW(r.mapping.validate(d.node_count(), p.device_count()));
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+}
+
+TEST(LookaheadHeft, MatchesHeftOnChain) {
+  // On a pure chain every child placement is forced; lookahead cannot
+  // disagree much with plain HEFT.
+  const Dag d = chain_dag(6);
+  const auto attrs = serial_streamable_attrs(6);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  HeftMapper heft;
+  LookaheadHeftMapper laheft;
+  const double h = heft.map(eval).predicted_makespan;
+  const double l = laheft.map(eval).predicted_makespan;
+  EXPECT_NEAR(h, l, 0.5 * h);
+}
+
+TEST(LookaheadHeft, LookaheadAvoidsGreedyTrap) {
+  // Fork where the greedy EFT choice for the hub task (FPGA: locally
+  // fastest) starves its children of cheap inputs. One level of lookahead
+  // sees the children's EFTs and behaves no worse than HEFT.
+  Rng rng(5);
+  int better = 0;
+  int total = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Dag d = generate_sp_dag(30, rng);
+    const TaskAttrs attrs = random_task_attrs(d, rng);
+    const Platform p = reference_platform();
+    const CostModel cost(d, attrs, p);
+    const Evaluator eval(cost);
+    HeftMapper heft;
+    LookaheadHeftMapper laheft;
+    const double h = heft.map(eval).predicted_makespan;
+    const double l = laheft.map(eval).predicted_makespan;
+    if (l <= h + 1e-12) ++better;
+    ++total;
+  }
+  // Lookahead should match or beat HEFT on a clear majority of instances.
+  EXPECT_GE(better * 2, total);
+}
+
+TEST(LookaheadHeft, RespectsAreaBudget) {
+  const Dag d = chain_dag(8);
+  const auto attrs = serial_streamable_attrs(8);
+  const Platform p = cpu_fpga_platform(1.0, /*fpga_area_budget=*/25.0);
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  LookaheadHeftMapper mapper;
+  const MapperResult r = mapper.map(eval);
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+}
+
+TEST(LookaheadHeft, HandlesWideFanOut) {
+  Dag d(12);
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    d.add_edge(NodeId(0), NodeId(i), 50.0);
+    d.add_edge(NodeId(i), NodeId(11), 50.0);
+  }
+  const auto attrs = serial_streamable_attrs(12);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  LookaheadHeftMapper mapper;
+  EXPECT_NO_THROW(mapper.map(eval));
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,135 @@
+#include "mappers/milp_mappers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_support.hpp"
+
+namespace spmap {
+namespace {
+
+using testing::chain_dag;
+using testing::cpu_fpga_platform;
+using testing::serial_streamable_attrs;
+
+MilpMapperParams quick(double seconds = 5.0) {
+  MilpMapperParams p;
+  p.time_limit_s = seconds;
+  return p;
+}
+
+TEST(WgdpDevice, BalancesLoadAcrossDevices) {
+  // 4 independent tasks (plus source/sink structure not needed): the
+  // device MILP splits them between CPU and FPGA instead of stacking all
+  // on one device.
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(1), 100.0);
+  d.add_edge(NodeId(2), NodeId(3), 100.0);
+  const auto attrs = serial_streamable_attrs(4);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  WgdpDeviceMapper mapper(quick());
+  const MapperResult r = mapper.map(eval);
+  ASSERT_EQ(mapper.last_status(), MipStatus::Optimal);
+  // FPGA is 10x faster: optimal load balance puts everything there.
+  std::size_t on_fpga = 0;
+  for (DeviceId dev : r.mapping.device) on_fpga += dev.v == 1;
+  EXPECT_EQ(on_fpga, 4u);
+}
+
+TEST(WgdpDevice, RespectsAreaBudget) {
+  const Dag d = chain_dag(6);
+  const auto attrs = serial_streamable_attrs(6);  // area 10 each
+  const Platform p = cpu_fpga_platform(1.0, /*fpga_area_budget=*/25.0);
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  WgdpDeviceMapper mapper(quick());
+  const MapperResult r = mapper.map(eval);
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+  std::size_t on_fpga = 0;
+  for (DeviceId dev : r.mapping.device) on_fpga += dev.v == 1;
+  EXPECT_LE(on_fpga, 2u);  // 3 tasks would need 30 > 25 area
+}
+
+TEST(WgdpTime, AcceleratesChainViaStreaming) {
+  // The time MILP is streaming-aware: mapping the whole chain to the FPGA
+  // is optimal despite the expensive boundary transfers.
+  const Dag d = chain_dag(4);
+  const auto attrs = serial_streamable_attrs(4);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  WgdpTimeMapper mapper(quick(10.0));
+  const MapperResult r = mapper.map(eval);
+  ASSERT_TRUE(mapper.last_status() == MipStatus::Optimal ||
+              mapper.last_status() == MipStatus::Feasible);
+  EXPECT_LT(r.predicted_makespan, eval.default_mapping_makespan());
+}
+
+TEST(WgdpTime, WarmStartGuaranteesMappingUnderTinyLimit) {
+  Rng rng(3);
+  const Dag d = generate_sp_dag(15, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  WgdpTimeMapper mapper(quick(1e-6));
+  const MapperResult r = mapper.map(eval);
+  EXPECT_TRUE(mapper.last_timed_out());
+  EXPECT_NO_THROW(r.mapping.validate(d.node_count(), p.device_count()));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+}
+
+TEST(ZhouLiu, OptimalOnTinyGraph) {
+  // 3-task chain: detailed MILP must find something at least as good as
+  // the trivial all-CPU schedule and produce a feasible mapping.
+  const Dag d = chain_dag(3);
+  const auto attrs = serial_streamable_attrs(3);
+  const Platform p = cpu_fpga_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  ZhouLiuMapper mapper(quick(10.0));
+  const MapperResult r = mapper.map(eval);
+  ASSERT_TRUE(mapper.last_status() == MipStatus::Optimal ||
+              mapper.last_status() == MipStatus::Feasible);
+  EXPECT_TRUE(cost.area_feasible(r.mapping));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+}
+
+TEST(ZhouLiu, TimesOutGracefullyOnLargerGraphs) {
+  // The paper reports ZhouLiu timing out beyond 20 tasks; under a tight
+  // limit it must still return the warm-start (all-CPU) mapping or better.
+  Rng rng(5);
+  const Dag d = generate_sp_dag(20, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+  ZhouLiuMapper mapper(quick(0.2));
+  const MapperResult r = mapper.map(eval);
+  EXPECT_NO_THROW(r.mapping.validate(d.node_count(), p.device_count()));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+}
+
+TEST(MilpMappers, AllProduceValidMappingsOnRandomGraph) {
+  Rng rng(7);
+  const Dag d = generate_sp_dag(8, rng);
+  const TaskAttrs attrs = random_task_attrs(d, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(d, attrs, p);
+  const Evaluator eval(cost);
+
+  WgdpDeviceMapper dev(quick());
+  WgdpTimeMapper time(quick());
+  ZhouLiuMapper zhou(quick());
+  for (Mapper* mapper : std::initializer_list<Mapper*>{&dev, &time, &zhou}) {
+    const MapperResult r = mapper->map(eval);
+    EXPECT_NO_THROW(r.mapping.validate(d.node_count(), p.device_count()))
+        << mapper->name();
+    EXPECT_TRUE(cost.area_feasible(r.mapping)) << mapper->name();
+  }
+}
+
+}  // namespace
+}  // namespace spmap

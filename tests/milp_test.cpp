@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/branch_and_bound.hpp"
+#include "milp/model.hpp"
+#include "milp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+namespace {
+
+// ---- model ----
+
+TEST(MilpModel, BinaryBoundsForced) {
+  MilpModel m;
+  const int b = m.add_var(VarKind::Binary, -5.0, 9.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.lower_bound(b), 0.0);
+  EXPECT_DOUBLE_EQ(m.upper_bound(b), 1.0);
+}
+
+TEST(MilpModel, FeasibilityCheck) {
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 10.0, 1.0);
+  const int y = m.add_binary(1.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, RowSense::Le, 5.0);
+  EXPECT_TRUE(m.is_feasible({3.0, 1.0}));
+  EXPECT_FALSE(m.is_feasible({4.0, 1.0}));   // row violated
+  EXPECT_FALSE(m.is_feasible({3.0, 0.5}));   // fractional binary
+  EXPECT_FALSE(m.is_feasible({-1.0, 0.0}));  // bound violated
+  EXPECT_DOUBLE_EQ(m.objective_value({3.0, 1.0}), 4.0);
+}
+
+TEST(MilpModel, BadVarIndexThrows) {
+  MilpModel m;
+  EXPECT_THROW(m.add_constraint({{3, 1.0}}, RowSense::Le, 0.0), Error);
+  EXPECT_THROW(m.lower_bound(0), Error);
+}
+
+// ---- LP ----
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 => (4, 0), obj 12.
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 1e30, -3.0);
+  const int y = m.add_continuous(0.0, 1e30, -2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowSense::Le, 4.0);
+  m.add_constraint({{x, 1.0}, {y, 3.0}}, RowSense::Le, 6.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -12.0, 1e-7);
+  EXPECT_NEAR(r.x[x], 4.0, 1e-7);
+  EXPECT_NEAR(r.x[y], 0.0, 1e-7);
+}
+
+TEST(Simplex, EqualityAndGeRows) {
+  // min x + y s.t. x + y = 2, x >= 0.5 => obj 2 with x in [0.5, 2].
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 1e30, 1.0);
+  const int y = m.add_continuous(0.0, 1e30, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowSense::Eq, 2.0);
+  m.add_constraint({{x, 1.0}}, RowSense::Ge, 0.5);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+  EXPECT_GE(r.x[x], 0.5 - 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, RowSense::Ge, 2.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  MilpModel m;
+  m.add_continuous(0.0, 1e30, -1.0);  // min -x; ub >= 1e29 counts as +inf
+  EXPECT_EQ(solve_lp(m).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, ShiftedLowerBounds) {
+  // min x s.t. x >= -3 via variable bound; x in [-3, 7].
+  MilpModel m;
+  const int x = m.add_continuous(-3.0, 7.0, 1.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[x], -3.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariableSubstitution) {
+  // y fixed to 2 by equal bounds; min x s.t. x + y >= 5 => x = 3.
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 1e30, 1.0);
+  const int y = m.add_continuous(2.0, 2.0, 0.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowSense::Ge, 5.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-7);
+  EXPECT_NEAR(r.x[y], 2.0, 1e-12);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min y s.t. -x - y <= -4 (i.e. x + y >= 4), x <= 1 => y >= 3.
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 1.0, 0.0);
+  const int y = m.add_continuous(0.0, 1e30, 1.0);
+  m.add_constraint({{x, -1.0}, {y, -1.0}}, RowSense::Le, -4.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate LP; must not cycle.
+  MilpModel m;
+  const int x1 = m.add_continuous(0.0, 1e30, -0.75);
+  const int x2 = m.add_continuous(0.0, 1e30, 150.0);
+  const int x3 = m.add_continuous(0.0, 1e30, -0.02);
+  const int x4 = m.add_continuous(0.0, 1e30, 6.0);
+  m.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   RowSense::Le, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   RowSense::Le, 0.0);
+  m.add_constraint({{x3, 1.0}}, RowSense::Le, 1.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, RepeatedVariableTermsAccumulate) {
+  // x + x <= 4 means 2x <= 4.
+  MilpModel m;
+  const int x = m.add_continuous(0.0, 1e30, -1.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, RowSense::Le, 4.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-7);
+}
+
+// ---- MIP ----
+
+TEST(Mip, Knapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 => b + c (weight 6, value 20).
+  MilpModel m;
+  const int a = m.add_binary(-10.0);
+  const int b = m.add_binary(-13.0);
+  const int c = m.add_binary(-7.0);
+  m.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, RowSense::Le, 6.0);
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-6);
+  EXPECT_NEAR(r.x[a], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-6);
+}
+
+TEST(Mip, IntegerRounding) {
+  // max x s.t. 2x <= 7, x integer => 3 (LP gives 3.5).
+  MilpModel m;
+  const int x = m.add_var(VarKind::Integer, 0.0, 100.0, -1.0);
+  m.add_constraint({{x, 2.0}}, RowSense::Le, 7.0);
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-6);
+}
+
+TEST(Mip, InfeasibleBinaryProblem) {
+  MilpModel m;
+  const int a = m.add_binary(1.0);
+  const int b = m.add_binary(1.0);
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, RowSense::Ge, 3.0);
+  const MipResult r = MipSolver().solve(m);
+  EXPECT_EQ(r.status, MipStatus::Infeasible);
+  EXPECT_FALSE(r.has_solution());
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // min y s.t. y >= x - 0.5, y >= 0.5 - x, x binary => x in {0,1}, y = 0.5.
+  MilpModel m;
+  const int x = m.add_binary(0.0);
+  const int y = m.add_continuous(0.0, 1e30, 1.0);
+  m.add_constraint({{y, 1.0}, {x, -1.0}}, RowSense::Ge, -0.5);
+  m.add_constraint({{y, 1.0}, {x, 1.0}}, RowSense::Ge, 0.5);
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, 0.5, 1e-6);
+}
+
+TEST(Mip, WarmStartGuaranteesSolutionUnderTinyLimit) {
+  // A generalized assignment problem with a tight time limit: the warm
+  // start must survive as the returned solution.
+  MilpModel m;
+  std::vector<int> vars;
+  Rng rng(3);
+  std::vector<double> warm(40, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    const int a = m.add_binary(rng.uniform(1.0, 5.0));
+    const int b = m.add_binary(rng.uniform(1.0, 5.0));
+    m.add_constraint({{a, 1.0}, {b, 1.0}}, RowSense::Eq, 1.0);
+    vars.push_back(a);
+    vars.push_back(b);
+    warm[static_cast<std::size_t>(a)] = 1.0;
+  }
+  MipParams params;
+  params.time_limit_s = 1e-9;  // expire immediately
+  params.max_nodes = 1;
+  const MipResult r = MipSolver(params).solve(m, &warm);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_TRUE(r.timed_out || r.nodes >= 1);
+  EXPECT_TRUE(m.is_feasible(r.x));
+}
+
+TEST(Mip, AssignmentProblemMatchesBruteForce) {
+  // 4 tasks x 3 machines, minimize total cost, each task on one machine,
+  // machine 0 capacity 2 tasks. Brute force over 3^4 assignments.
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    double cost[4][3];
+    for (auto& row : cost) {
+      for (double& c : row) c = rng.uniform(1.0, 10.0);
+    }
+    MilpModel m;
+    int x[4][3];
+    for (int i = 0; i < 4; ++i) {
+      std::vector<LinTerm> one;
+      for (int j = 0; j < 3; ++j) {
+        x[i][j] = m.add_binary(cost[i][j]);
+        one.push_back({x[i][j], 1.0});
+      }
+      m.add_constraint(one, RowSense::Eq, 1.0);
+    }
+    std::vector<LinTerm> cap;
+    for (int i = 0; i < 4; ++i) cap.push_back({x[i][0], 1.0});
+    m.add_constraint(cap, RowSense::Le, 2.0);
+
+    const MipResult r = MipSolver().solve(m);
+    ASSERT_EQ(r.status, MipStatus::Optimal);
+
+    double best = 1e300;
+    for (int a0 = 0; a0 < 3; ++a0) {
+      for (int a1 = 0; a1 < 3; ++a1) {
+        for (int a2 = 0; a2 < 3; ++a2) {
+          for (int a3 = 0; a3 < 3; ++a3) {
+            const int on0 = (a0 == 0) + (a1 == 0) + (a2 == 0) + (a3 == 0);
+            if (on0 > 2) continue;
+            best = std::min(best, cost[0][a0] + cost[1][a1] + cost[2][a2] +
+                                      cost[3][a3]);
+          }
+        }
+      }
+    }
+    EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Mip, RandomSmallMipsMatchBruteForce) {
+  // Random binary MIPs with 8 vars, 4 <= rows; brute force 256 points.
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    MilpModel m;
+    double obj[8];
+    for (int v = 0; v < 8; ++v) {
+      obj[v] = rng.uniform(-5.0, 5.0);
+      m.add_binary(obj[v]);
+    }
+    double a[4][8];
+    double rhs[4];
+    for (int r = 0; r < 4; ++r) {
+      std::vector<LinTerm> terms;
+      for (int v = 0; v < 8; ++v) {
+        a[r][v] = rng.uniform(-3.0, 3.0);
+        terms.push_back({v, a[r][v]});
+      }
+      rhs[r] = rng.uniform(-2.0, 6.0);
+      m.add_constraint(terms, RowSense::Le, rhs[r]);
+    }
+    const MipResult result = MipSolver().solve(m);
+
+    double best = 1e300;
+    for (int mask = 0; mask < 256; ++mask) {
+      bool ok = true;
+      for (int r = 0; r < 4 && ok; ++r) {
+        double lhs = 0.0;
+        for (int v = 0; v < 8; ++v) {
+          if (mask & (1 << v)) lhs += a[r][v];
+        }
+        ok = lhs <= rhs[r] + 1e-9;
+      }
+      if (!ok) continue;
+      double o = 0.0;
+      for (int v = 0; v < 8; ++v) {
+        if (mask & (1 << v)) o += obj[v];
+      }
+      best = std::min(best, o);
+    }
+    if (best > 1e299) {
+      EXPECT_EQ(result.status, MipStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(result.status, MipStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(result.objective, best, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spmap

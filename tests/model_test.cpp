@@ -1,0 +1,192 @@
+#include "model/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/platform.hpp"
+
+namespace spmap {
+namespace {
+
+TEST(Amdahl, Limits) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 16.0), 1.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 16.0), 16.0);
+  // p = 0.5 on many cores approaches 2x.
+  EXPECT_NEAR(amdahl_speedup(0.5, 1e9), 2.0, 1e-6);
+  // Clamping.
+  EXPECT_DOUBLE_EQ(amdahl_speedup(2.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.5, 0.5), 1.0);
+}
+
+TEST(Platform, ReferencePlatformShape) {
+  const Platform p = reference_platform();
+  ASSERT_EQ(p.device_count(), 3u);
+  EXPECT_EQ(p.device(DeviceId(0u)).kind, DeviceKind::Cpu);
+  EXPECT_EQ(p.device(DeviceId(1u)).kind, DeviceKind::Gpu);
+  EXPECT_EQ(p.device(DeviceId(2u)).kind, DeviceKind::Fpga);
+  EXPECT_EQ(p.default_device(), DeviceId(0u));
+  EXPECT_EQ(p.fpga_devices(), std::vector<DeviceId>{DeviceId(2u)});
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, LinksAreSymmetric) {
+  const Platform p = reference_platform();
+  EXPECT_DOUBLE_EQ(p.bandwidth_gbps(DeviceId(0u), DeviceId(1u)),
+                   p.bandwidth_gbps(DeviceId(1u), DeviceId(0u)));
+  EXPECT_DOUBLE_EQ(p.latency_s(DeviceId(0u), DeviceId(2u)),
+                   p.latency_s(DeviceId(2u), DeviceId(0u)));
+}
+
+TEST(Platform, MissingLinkDetected) {
+  Platform p;
+  Device cpu;
+  cpu.kind = DeviceKind::Cpu;
+  cpu.lanes = 4;
+  cpu.lane_gops = 1.0;
+  p.add_device(cpu);
+  p.add_device(cpu);
+  EXPECT_THROW(p.validate(), Error);
+  EXPECT_THROW(p.bandwidth_gbps(DeviceId(0u), DeviceId(1u)), Error);
+  p.set_link(DeviceId(0u), DeviceId(1u), 10.0, 1e-5);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, SelfLinkRejected) {
+  Platform p;
+  Device cpu;
+  cpu.kind = DeviceKind::Cpu;
+  cpu.lanes = 1;
+  cpu.lane_gops = 1.0;
+  p.add_device(cpu);
+  EXPECT_THROW(p.set_link(DeviceId(0u), DeviceId(0u), 1.0, 0.0), Error);
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : platform_(reference_platform()) {
+    // 0 -> 1 -> 2 chain with known attributes.
+    dag_.add_nodes(3);
+    dag_.add_edge(NodeId(0), NodeId(1), 100.0);
+    dag_.add_edge(NodeId(1), NodeId(2), 200.0);
+    attrs_.resize(3);
+    attrs_.complexity = {10.0, 5.0, 8.0};
+    attrs_.parallelizability = {1.0, 0.0, 0.5};
+    attrs_.streamability = {4.0, 10.0, 1.0};
+    attrs_.area = {10.0, 5.0, 8.0};
+  }
+
+  Dag dag_;
+  TaskAttrs attrs_;
+  Platform platform_;
+  DeviceId cpu_{0};
+  DeviceId gpu_{1};
+  DeviceId fpga_{2};
+};
+
+TEST_F(CostModelTest, TaskDataIsMaxOfInAndOut) {
+  const CostModel cost(dag_, attrs_, platform_);
+  EXPECT_DOUBLE_EQ(cost.task_data_mb(NodeId(0)), 100.0);  // out only
+  EXPECT_DOUBLE_EQ(cost.task_data_mb(NodeId(1)), 200.0);  // max(100, 200)
+  EXPECT_DOUBLE_EQ(cost.task_data_mb(NodeId(2)), 200.0);  // in only
+}
+
+TEST_F(CostModelTest, CpuExecUsesAmdahl) {
+  const CostModel cost(dag_, attrs_, platform_);
+  // Task 0: work = 10 * 100 = 1000 Mops; the reference CPU has 16 lanes in
+  // 4 slots, so one task sees 4 lanes: speed = 2.4 * 4 (p = 1).
+  EXPECT_NEAR(cost.exec_time(NodeId(0), cpu_), 1.0 / 9.6, 1e-9);
+  // Task 1: p = 0 -> one lane only.
+  EXPECT_NEAR(cost.exec_time(NodeId(1), cpu_), 1.0 / 2.4, 1e-9);
+}
+
+TEST_F(CostModelTest, GpuOnlyPaysOffWhenParallel) {
+  const CostModel cost(dag_, attrs_, platform_);
+  // Perfectly parallel task: GPU much faster than CPU.
+  EXPECT_LT(cost.exec_time(NodeId(0), gpu_), cost.exec_time(NodeId(0), cpu_));
+  // Serial task: GPU much slower than CPU.
+  EXPECT_GT(cost.exec_time(NodeId(1), gpu_), cost.exec_time(NodeId(1), cpu_));
+}
+
+TEST_F(CostModelTest, FpgaSpeedScalesWithStreamability) {
+  const CostModel cost(dag_, attrs_, platform_);
+  // exec = work / (0.7 * streamability * 1000).
+  EXPECT_NEAR(cost.exec_time(NodeId(1), fpga_), 1.0 / (0.7 * 10.0), 1e-9);
+  // Streamability-insensitive to parallelizability: task 1 has p = 0 but a
+  // high streamability, so the FPGA beats the CPU on it.
+  EXPECT_LT(cost.exec_time(NodeId(1), fpga_), cost.exec_time(NodeId(1), cpu_));
+}
+
+TEST_F(CostModelTest, TransferTimes) {
+  const CostModel cost(dag_, attrs_, platform_);
+  const EdgeId e01(0u);
+  // Same device: free.
+  EXPECT_DOUBLE_EQ(cost.transfer_time(e01, cpu_, cpu_), 0.0);
+  // CPU -> GPU: latency + 100 MB / 3 GB/s effective bandwidth.
+  EXPECT_NEAR(cost.transfer_time(e01, cpu_, gpu_), 1e-4 + 0.1 / 3.0, 1e-9);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(cost.transfer_time(e01, cpu_, gpu_),
+                   cost.transfer_time(e01, gpu_, cpu_));
+}
+
+TEST_F(CostModelTest, MeanAndMinExec) {
+  const CostModel cost(dag_, attrs_, platform_);
+  const double c = cost.exec_time(NodeId(1), cpu_);
+  const double g = cost.exec_time(NodeId(1), gpu_);
+  const double f = cost.exec_time(NodeId(1), fpga_);
+  EXPECT_NEAR(cost.mean_exec_time(NodeId(1)), (c + g + f) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cost.min_exec_time(NodeId(1)), std::min({c, g, f}));
+}
+
+TEST_F(CostModelTest, AreaAccounting) {
+  const CostModel cost(dag_, attrs_, platform_);
+  Mapping m(3, cpu_);
+  EXPECT_TRUE(cost.area_feasible(m));
+  EXPECT_DOUBLE_EQ(cost.mapped_area(m, fpga_), 0.0);
+  m[NodeId(0)] = fpga_;
+  m[NodeId(2)] = fpga_;
+  EXPECT_DOUBLE_EQ(cost.mapped_area(m, fpga_), 18.0);
+  EXPECT_TRUE(cost.area_feasible(m));
+}
+
+TEST_F(CostModelTest, AreaOverflowInfeasible) {
+  attrs_.area = {100.0, 100.0, 100.0};
+  const CostModel cost(dag_, attrs_, platform_);
+  Mapping m(3, fpga_);
+  EXPECT_FALSE(cost.area_feasible(m));  // 300 > 120 budget
+  m[NodeId(1)] = cpu_;
+  m[NodeId(2)] = cpu_;
+  EXPECT_TRUE(cost.area_feasible(m));
+}
+
+TEST_F(CostModelTest, ZeroComplexityTasksAreFree) {
+  attrs_.complexity[1] = 0.0;
+  attrs_.area[1] = 0.0;
+  const CostModel cost(dag_, attrs_, platform_);
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(cost.exec_time(NodeId(1), DeviceId(d)), 0.0);
+  }
+}
+
+TEST_F(CostModelTest, MaxSerialTimeIsUpperBoundPerTask) {
+  const CostModel cost(dag_, attrs_, platform_);
+  double expected = 0.0;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    double worst = 0.0;
+    for (std::uint32_t d = 0; d < 3; ++d) {
+      worst = std::max(worst, cost.exec_time(NodeId(i), DeviceId(d)));
+    }
+    expected += worst;
+  }
+  EXPECT_NEAR(cost.max_serial_time(), expected, 1e-12);
+}
+
+TEST(Mapping, Validation) {
+  Mapping m(3, DeviceId(0u));
+  EXPECT_NO_THROW(m.validate(3, 2));
+  EXPECT_THROW(m.validate(4, 2), Error);
+  m[NodeId(1)] = DeviceId(5u);
+  EXPECT_THROW(m.validate(3, 2), Error);
+}
+
+}  // namespace
+}  // namespace spmap

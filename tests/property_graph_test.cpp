@@ -1,0 +1,119 @@
+/// Parameterized property suite for the graph substrate: invariants of
+/// transitive reduction, normalization and serialization on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace spmap {
+namespace {
+
+struct GraphCase {
+  std::size_t nodes;
+  std::size_t extra_edges;
+  std::uint64_t seed;
+};
+
+class GraphProperty : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  GraphProperty() : rng_(GetParam().seed) {
+    Dag base = generate_sp_dag(GetParam().nodes, rng_);
+    dag_ = add_random_edges(base, GetParam().extra_edges, rng_);
+  }
+
+  Rng rng_;
+  Dag dag_;
+};
+
+TEST_P(GraphProperty, TopologicalOrderIsValid) {
+  const auto order = topological_order(dag_);
+  ASSERT_EQ(order.size(), dag_.node_count());
+  std::vector<std::size_t> pos(dag_.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].v] = i;
+  for (std::size_t e = 0; e < dag_.edge_count(); ++e) {
+    EXPECT_LT(pos[dag_.src(EdgeId(e)).v], pos[dag_.dst(EdgeId(e)).v]);
+  }
+}
+
+TEST_P(GraphProperty, RandomTopologicalOrdersAreValid) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto order = random_topological_order(dag_, rng_);
+    std::vector<std::size_t> pos(dag_.node_count());
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].v] = i;
+    for (std::size_t e = 0; e < dag_.edge_count(); ++e) {
+      ASSERT_LT(pos[dag_.src(EdgeId(e)).v], pos[dag_.dst(EdgeId(e)).v]);
+    }
+  }
+}
+
+TEST_P(GraphProperty, TransitiveReductionPreservesReachability) {
+  const Dag reduced = transitive_reduction(dag_);
+  EXPECT_LE(reduced.edge_count(), dag_.edge_count());
+  // Spot-check reachability equivalence from a few nodes.
+  for (std::uint32_t v = 0; v < dag_.node_count();
+       v += std::max<std::uint32_t>(1, dag_.node_count() / 5)) {
+    const auto before = reachable_set(dag_, NodeId(v));
+    const auto after = reachable_set(reduced, NodeId(v));
+    EXPECT_EQ(before, after) << "from node " << v;
+  }
+}
+
+TEST_P(GraphProperty, TransitiveReductionIsMinimal) {
+  // Removing any edge of the reduction must lose reachability.
+  const Dag reduced = transitive_reduction(dag_);
+  for (std::size_t e = 0; e < reduced.edge_count();
+       e += std::max<std::size_t>(1, reduced.edge_count() / 8)) {
+    Dag pruned(reduced.node_count());
+    for (std::size_t k = 0; k < reduced.edge_count(); ++k) {
+      if (k == e) continue;
+      pruned.add_edge(reduced.src(EdgeId(k)), reduced.dst(EdgeId(k)),
+                      reduced.data_mb(EdgeId(k)));
+    }
+    EXPECT_FALSE(
+        reachable(pruned, reduced.src(EdgeId(e)), reduced.dst(EdgeId(e))))
+        << "edge " << e << " was redundant in the reduction";
+  }
+}
+
+TEST_P(GraphProperty, NormalizationIdempotent) {
+  const Normalized once = normalize_source_sink(dag_);
+  const Normalized twice = normalize_source_sink(once.dag);
+  EXPECT_FALSE(twice.added_source);
+  EXPECT_FALSE(twice.added_sink);
+  EXPECT_EQ(twice.dag.node_count(), once.dag.node_count());
+}
+
+TEST_P(GraphProperty, JsonRoundTripPreservesStructure) {
+  const TaskAttrs attrs = random_task_attrs(dag_, rng_);
+  const TaskGraph back = task_graph_from_json(to_json(dag_, attrs));
+  ASSERT_EQ(back.dag.node_count(), dag_.node_count());
+  ASSERT_EQ(back.dag.edge_count(), dag_.edge_count());
+  for (std::size_t e = 0; e < dag_.edge_count(); ++e) {
+    EXPECT_EQ(back.dag.src(EdgeId(e)), dag_.src(EdgeId(e)));
+    EXPECT_EQ(back.dag.dst(EdgeId(e)), dag_.dst(EdgeId(e)));
+  }
+}
+
+TEST_P(GraphProperty, BfsOrderLevelsAreMonotone) {
+  const auto levels = node_levels(dag_);
+  const auto order = bfs_order(dag_);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LE(levels[order[i].v], levels[order[i + 1].v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GraphProperty,
+    ::testing::Values(GraphCase{2, 0, 61}, GraphCase{6, 3, 62},
+                      GraphCase{15, 0, 63}, GraphCase{15, 10, 64},
+                      GraphCase{40, 20, 65}, GraphCase{90, 45, 66}),
+    [](const ::testing::TestParamInfo<GraphCase>& param_info) {
+      return "n" + std::to_string(param_info.param.nodes) + "_e" +
+             std::to_string(param_info.param.extra_edges) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,123 @@
+/// Parameterized property suite over all heuristic mappers: invariants that
+/// every mapping algorithm must satisfy on every input (validity, area
+/// feasibility, reproducibility), plus the decomposition-specific
+/// improvement guarantee.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mappers/cpu_only.hpp"
+#include "mappers/decomposition.hpp"
+#include "mappers/heft.hpp"
+#include "mappers/nsga2.hpp"
+#include "mappers/peft.hpp"
+#include "model/platform.hpp"
+
+namespace spmap {
+namespace {
+
+struct MapperCase {
+  std::string mapper;
+  std::size_t nodes;
+  std::size_t extra_edges;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<Mapper> build_mapper(const std::string& name, const Dag& dag,
+                                     Rng& rng) {
+  if (name == "cpu") return std::make_unique<CpuOnlyMapper>();
+  if (name == "heft") return std::make_unique<HeftMapper>();
+  if (name == "peft") return std::make_unique<PeftMapper>();
+  if (name == "sn") return make_single_node_mapper(dag, false);
+  if (name == "snff") return make_single_node_mapper(dag, true);
+  if (name == "sp") return make_series_parallel_mapper(dag, rng, false);
+  if (name == "spff") return make_series_parallel_mapper(dag, rng, true);
+  if (name == "nsga") {
+    Nsga2Params params;
+    params.population = 20;
+    params.generations = 15;
+    return std::make_unique<Nsga2Mapper>(params);
+  }
+  throw Error("unknown mapper in test: " + name);
+}
+
+class MapperProperty : public ::testing::TestWithParam<MapperCase> {
+ protected:
+  MapperProperty() : rng_(GetParam().seed), platform_(reference_platform()) {
+    Dag base = generate_sp_dag(GetParam().nodes, rng_);
+    dag_ = add_random_edges(base, GetParam().extra_edges, rng_);
+    attrs_ = random_task_attrs(dag_, rng_);
+    cost_.emplace(dag_, attrs_, platform_);
+    eval_.emplace(*cost_, EvalParams{});
+  }
+
+  Rng rng_;
+  Platform platform_;
+  Dag dag_;
+  TaskAttrs attrs_;
+  std::optional<CostModel> cost_;
+  std::optional<Evaluator> eval_;
+};
+
+TEST_P(MapperProperty, MappingIsValidAndFeasible) {
+  Rng mapper_rng(GetParam().seed + 1);
+  auto mapper = build_mapper(GetParam().mapper, dag_, mapper_rng);
+  const MapperResult r = mapper->map(*eval_);
+  EXPECT_NO_THROW(
+      r.mapping.validate(dag_.node_count(), platform_.device_count()));
+  EXPECT_TRUE(cost_->area_feasible(r.mapping));
+  EXPECT_LT(r.predicted_makespan, kInfeasible);
+  EXPECT_GT(r.predicted_makespan, 0.0);
+}
+
+TEST_P(MapperProperty, ReportedMakespanMatchesMapping) {
+  Rng mapper_rng(GetParam().seed + 1);
+  auto mapper = build_mapper(GetParam().mapper, dag_, mapper_rng);
+  const MapperResult r = mapper->map(*eval_);
+  EXPECT_NEAR(r.predicted_makespan, eval_->evaluate(r.mapping), 1e-12);
+}
+
+TEST_P(MapperProperty, DeterministicForFixedSeeds) {
+  Rng a(GetParam().seed + 2);
+  Rng b(GetParam().seed + 2);
+  auto m1 = build_mapper(GetParam().mapper, dag_, a);
+  auto m2 = build_mapper(GetParam().mapper, dag_, b);
+  EXPECT_EQ(m1->map(*eval_).mapping, m2->map(*eval_).mapping);
+}
+
+TEST_P(MapperProperty, DecompositionNeverWorseThanBaseline) {
+  // Improvement guarantee of Section III-A (decomposition and the GA with
+  // the seeded default individual); list schedulers may regress and are
+  // skipped here.
+  const std::string& name = GetParam().mapper;
+  if (name == "heft" || name == "peft") GTEST_SKIP();
+  Rng mapper_rng(GetParam().seed + 3);
+  auto mapper = build_mapper(name, dag_, mapper_rng);
+  const MapperResult r = mapper->map(*eval_);
+  EXPECT_LE(r.predicted_makespan,
+            eval_->default_mapping_makespan() + 1e-9);
+}
+
+std::vector<MapperCase> make_cases() {
+  std::vector<MapperCase> cases;
+  std::uint64_t seed = 100;
+  for (const char* mapper :
+       {"cpu", "heft", "peft", "sn", "snff", "sp", "spff", "nsga"}) {
+    for (const auto& [n, e] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {6, 0}, {20, 8}, {45, 0}}) {
+      cases.push_back(MapperCase{mapper, n, e, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MapperProperty, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<MapperCase>& param_info) {
+      return param_info.param.mapper + "_n" + std::to_string(param_info.param.nodes) +
+             "_e" + std::to_string(param_info.param.extra_edges);
+    });
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,106 @@
+/// Parameterized property suite for the MILP substrate: random LPs and MIPs
+/// whose solutions must satisfy structural guarantees (feasibility, bound
+/// ordering between relaxation and integer optimum, warm-start dominance).
+
+#include <gtest/gtest.h>
+
+#include "milp/branch_and_bound.hpp"
+#include "milp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+namespace {
+
+struct MilpCase {
+  std::size_t vars;
+  std::size_t rows;
+  std::uint64_t seed;
+};
+
+/// Random bounded LP/MIP: binary + continuous variables, <= rows with
+/// mixed-sign coefficients, all variables in [0, 3].
+MilpModel random_model(const MilpCase& param, Rng& rng,
+                       double binary_fraction) {
+  MilpModel m;
+  for (std::size_t v = 0; v < param.vars; ++v) {
+    if (rng.chance(binary_fraction)) {
+      m.add_binary(rng.uniform(-4.0, 4.0));
+    } else {
+      m.add_continuous(0.0, 3.0, rng.uniform(-4.0, 4.0));
+    }
+  }
+  for (std::size_t r = 0; r < param.rows; ++r) {
+    std::vector<LinTerm> terms;
+    for (std::size_t v = 0; v < param.vars; ++v) {
+      if (rng.chance(0.7)) {
+        terms.push_back({static_cast<int>(v), rng.uniform(-2.0, 2.0)});
+      }
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    // Generous rhs keeps most instances feasible (x = 0 often works).
+    m.add_constraint(std::move(terms), RowSense::Le,
+                     rng.uniform(0.5, 6.0));
+  }
+  return m;
+}
+
+class MilpProperty : public ::testing::TestWithParam<MilpCase> {};
+
+TEST_P(MilpProperty, LpSolutionIsFeasibleAndOptimalish) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 5; ++rep) {
+    const MilpModel m = random_model(GetParam(), rng, 0.0);
+    const LpResult r = solve_lp(m);
+    if (r.status != LpStatus::Optimal) continue;  // unbounded instances ok
+    // Feasibility of the claimed optimum (integrality vacuous here).
+    EXPECT_TRUE(m.is_feasible(r.x, 1e-5));
+    EXPECT_NEAR(r.objective, m.objective_value(r.x), 1e-6);
+    // x = 0 is feasible by construction (rhs > 0); the optimum cannot be
+    // worse than that reference point.
+    EXPECT_LE(r.objective, 1e-7);
+  }
+}
+
+TEST_P(MilpProperty, MipSolutionFeasibleAndBoundedByRelaxation) {
+  Rng rng(GetParam().seed + 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    const MilpModel m = random_model(GetParam(), rng, 0.6);
+    const LpResult relax = solve_lp(m);
+    MipParams params;
+    params.time_limit_s = 5.0;
+    const MipResult r = MipSolver(params).solve(m);
+    if (!r.has_solution()) continue;
+    EXPECT_TRUE(m.is_feasible(r.x, 1e-5));
+    if (relax.status == LpStatus::Optimal && r.status == MipStatus::Optimal) {
+      // Integer optimum can never beat the LP relaxation.
+      EXPECT_GE(r.objective + 1e-6, relax.objective);
+    }
+  }
+}
+
+TEST_P(MilpProperty, WarmStartNeverHurts) {
+  Rng rng(GetParam().seed + 2);
+  const MilpModel m = random_model(GetParam(), rng, 0.5);
+  // All-zero warm start is feasible by construction.
+  std::vector<double> zeros(m.var_count(), 0.0);
+  ASSERT_TRUE(m.is_feasible(zeros));
+  MipParams params;
+  params.time_limit_s = 2.0;
+  const MipResult with = MipSolver(params).solve(m, &zeros);
+  ASSERT_TRUE(with.has_solution());
+  EXPECT_LE(with.objective, m.objective_value(zeros) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MilpProperty,
+    ::testing::Values(MilpCase{3, 2, 41}, MilpCase{6, 4, 42},
+                      MilpCase{10, 6, 43}, MilpCase{14, 8, 44},
+                      MilpCase{20, 10, 45}),
+    [](const ::testing::TestParamInfo<MilpCase>& param_info) {
+      return "v" + std::to_string(param_info.param.vars) + "_r" +
+             std::to_string(param_info.param.rows) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,147 @@
+/// Parameterized property suite for the series-parallel machinery: for a
+/// grid of (graph size, extra conflicting edges, seed) configurations,
+/// verify the structural invariants that Algorithm 1 and the subgraph-set
+/// construction must uphold on *every* input.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sp/decomposition_forest.hpp"
+#include "sp/recognizer.hpp"
+#include "sp/subgraph_set.hpp"
+
+namespace spmap {
+namespace {
+
+struct SpCase {
+  std::size_t nodes;
+  std::size_t extra_edges;
+  std::uint64_t seed;
+};
+
+void PrintTo(const SpCase& c, std::ostream* os) {
+  *os << "n" << c.nodes << "_e" << c.extra_edges << "_s" << c.seed;
+}
+
+class SpProperty : public ::testing::TestWithParam<SpCase> {
+ protected:
+  SpProperty() : rng_(GetParam().seed) {
+    Dag base = generate_sp_dag(GetParam().nodes, rng_);
+    graph_ = add_random_edges(base, GetParam().extra_edges, rng_);
+    norm_ = normalize_source_sink(graph_);
+  }
+
+  Rng rng_;
+  Dag graph_;
+  Normalized norm_;
+};
+
+TEST_P(SpProperty, ForestIsStructurallyValid) {
+  const auto result = grow_decomposition_forest(norm_.dag, rng_);
+  EXPECT_NO_THROW(result.forest.validate(norm_.dag));
+}
+
+TEST_P(SpProperty, EveryEdgeInExactlyOneLeaf) {
+  const auto result = grow_decomposition_forest(norm_.dag, rng_);
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (const auto root : result.forest.roots()) {
+    for (const EdgeId e : result.forest.edges(root)) {
+      seen.insert(e.v);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, norm_.dag.edge_count());
+  EXPECT_EQ(seen.size(), norm_.dag.edge_count());
+  EXPECT_EQ(result.orphan_edges, 0u);
+}
+
+TEST_P(SpProperty, CutsIffNotSeriesParallel) {
+  const bool sp = is_series_parallel(norm_.dag);
+  const auto result = grow_decomposition_forest(norm_.dag, rng_);
+  EXPECT_EQ(result.cuts == 0, sp);
+  EXPECT_EQ(result.forest.roots().size(), result.cuts + 1);
+}
+
+TEST_P(SpProperty, EndpointsChainThroughEveryTree) {
+  // start(T)/end(T) must frame the spanned subgraph: every spanned node
+  // lies on a path of tree edges; in particular the endpoints are spanned
+  // (unless virtual).
+  const auto result = grow_decomposition_forest(norm_.dag, rng_);
+  for (const auto root : result.forest.roots()) {
+    const auto spanned = result.forest.spanned_nodes(root);
+    const std::set<NodeId> span_set(spanned.begin(), spanned.end());
+    if (result.forest.start(root).valid()) {
+      EXPECT_TRUE(span_set.count(result.forest.start(root)));
+    }
+    if (result.forest.end(root).valid()) {
+      EXPECT_TRUE(span_set.count(result.forest.end(root)));
+    }
+  }
+}
+
+TEST_P(SpProperty, SubgraphSetIsLinearSize) {
+  const auto set = series_parallel_subgraphs(graph_, rng_);
+  EXPECT_GE(set.size(), graph_.node_count());
+  EXPECT_LE(set.size(), 4 * graph_.node_count() + 8);
+}
+
+TEST_P(SpProperty, SubgraphNodesAreRealAndSorted) {
+  const auto set = series_parallel_subgraphs(graph_, rng_);
+  for (const auto& sg : set.subgraphs) {
+    EXPECT_FALSE(sg.empty());
+    EXPECT_TRUE(std::is_sorted(sg.begin(), sg.end()));
+    EXPECT_TRUE(std::adjacent_find(sg.begin(), sg.end()) == sg.end());
+    for (const NodeId n : sg) {
+      EXPECT_LT(n.v, graph_.node_count());
+    }
+  }
+}
+
+TEST_P(SpProperty, SubgraphsAreWeaklyConnectedRegions) {
+  // A candidate subgraph groups tasks that synergize when co-mapped; a
+  // disconnected group would never reduce any transfer. Verify weak
+  // connectivity within the (normalized) graph restricted to the subgraph.
+  const auto set = series_parallel_subgraphs(graph_, rng_);
+  for (const auto& sg : set.subgraphs) {
+    if (sg.size() <= 1) continue;
+    const std::set<NodeId> members(sg.begin(), sg.end());
+    // BFS over undirected edges restricted to members.
+    std::set<NodeId> visited{sg.front()};
+    std::vector<NodeId> stack{sg.front()};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId w) {
+        if (members.count(w) && !visited.count(w)) {
+          visited.insert(w);
+          stack.push_back(w);
+        }
+      };
+      for (const EdgeId e : graph_.out_edges(v)) visit(graph_.dst(e));
+      for (const EdgeId e : graph_.in_edges(v)) visit(graph_.src(e));
+    }
+    EXPECT_EQ(visited.size(), sg.size())
+        << "disconnected candidate subgraph of size " << sg.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpProperty,
+    ::testing::Values(SpCase{2, 0, 1}, SpCase{5, 0, 2}, SpCase{5, 3, 3},
+                      SpCase{12, 0, 4}, SpCase{12, 6, 5}, SpCase{30, 0, 6},
+                      SpCase{30, 15, 7}, SpCase{30, 60, 8},
+                      SpCase{80, 0, 9}, SpCase{80, 40, 10},
+                      SpCase{150, 0, 11}, SpCase{150, 100, 12},
+                      SpCase{300, 30, 13}),
+    [](const ::testing::TestParamInfo<SpCase>& param_info) {
+      return "n" + std::to_string(param_info.param.nodes) + "_e" +
+             std::to_string(param_info.param.extra_edges) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,367 @@
+#include "sp/decomposition_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sp/recognizer.hpp"
+#include "sp/subgraph_set.hpp"
+
+namespace spmap {
+namespace {
+
+/// The series-parallel example of the paper's Fig. 1:
+/// edges 0-1, 1-2, 2-3, 1-3, 3-5, 0-4, 4-5.
+Dag fig1_graph() {
+  Dag d(6);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(2), NodeId(3));
+  d.add_edge(NodeId(1), NodeId(3));
+  d.add_edge(NodeId(3), NodeId(5));
+  d.add_edge(NodeId(0), NodeId(4));
+  d.add_edge(NodeId(4), NodeId(5));
+  return d;
+}
+
+/// The non-series-parallel example of Fig. 2: Fig. 1 plus edge 1-4.
+Dag fig2_graph() {
+  Dag d = fig1_graph();
+  d.add_edge(NodeId(1), NodeId(4));
+  return d;
+}
+
+/// Classic minimal non-SP graph (Wheatstone bridge / "N" graph).
+Dag bridge_graph() {
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(0), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(3));
+  d.add_edge(NodeId(2), NodeId(3));
+  return d;
+}
+
+// ---- Recognizer ----
+
+TEST(Recognizer, SingleEdgeIsSp) {
+  Dag d(2);
+  d.add_edge(NodeId(0), NodeId(1));
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Recognizer, ChainIsSp) {
+  Dag d(5);
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) {
+    d.add_edge(NodeId(i), NodeId(i + 1));
+  }
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Recognizer, DiamondIsSp) {
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(1));
+  d.add_edge(NodeId(0), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(3));
+  d.add_edge(NodeId(2), NodeId(3));
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Recognizer, Fig1IsSp) { EXPECT_TRUE(is_series_parallel(fig1_graph())); }
+
+TEST(Recognizer, Fig2IsNotSp) {
+  EXPECT_FALSE(is_series_parallel(fig2_graph()));
+}
+
+TEST(Recognizer, BridgeIsNotSp) {
+  EXPECT_FALSE(is_series_parallel(bridge_graph()));
+}
+
+TEST(Recognizer, SingleNodeIsSp) {
+  Dag d(1);
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Recognizer, GeneratedSpGraphsAreSp) {
+  Rng rng(42);
+  for (std::size_t n : {2u, 5u, 10u, 50u, 200u}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const Dag d = generate_sp_dag(n, rng);
+      EXPECT_TRUE(is_series_parallel(d)) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+// ---- Algorithm 1 on series-parallel inputs ----
+
+TEST(DecompositionForest, Fig1SingleTreeNoCuts) {
+  Rng rng(1);
+  const auto result = grow_decomposition_forest(fig1_graph(), rng);
+  EXPECT_EQ(result.cuts, 0u);
+  EXPECT_EQ(result.orphan_edges, 0u);
+  ASSERT_EQ(result.forest.roots().size(), 1u);
+  result.forest.validate(fig1_graph());
+  EXPECT_EQ(result.forest.total_real_leaves(), fig1_graph().edge_count());
+}
+
+TEST(DecompositionForest, Fig1TreeStructure) {
+  Rng rng(1);
+  const auto result =
+      grow_decomposition_forest(fig1_graph(), rng, CutPolicy::FirstActive);
+  const auto root = result.forest.roots().front();
+  // Core tree: virtual wrapper around the parallel 0-5 operation of Fig. 1.
+  EXPECT_EQ(result.forest.to_string(root),
+            "S(eps-0, P(S(0-1, P(S(1-2, 2-3), 1-3), 3-5), S(0-4, 4-5)), "
+            "5-eps)");
+}
+
+TEST(DecompositionForest, GeneratedSpGraphsDecomposeWithoutCuts) {
+  Rng rng(7);
+  for (std::size_t n : {2u, 3u, 8u, 40u, 150u}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const Dag d = generate_sp_dag(n, rng);
+      const auto result = grow_decomposition_forest(d, rng);
+      EXPECT_EQ(result.cuts, 0u) << "n=" << n;
+      EXPECT_EQ(result.orphan_edges, 0u);
+      EXPECT_EQ(result.forest.roots().size(), 1u);
+      result.forest.validate(d);
+      EXPECT_EQ(result.forest.total_real_leaves(), d.edge_count());
+      // The core tree spans every node.
+      const auto spanned =
+          result.forest.spanned_nodes(result.forest.roots().front());
+      EXPECT_EQ(spanned.size(), d.node_count());
+    }
+  }
+}
+
+// ---- Algorithm 1 on general DAGs ----
+
+TEST(DecompositionForest, Fig2CutsOnce) {
+  Rng rng(1);
+  const auto result =
+      grow_decomposition_forest(fig2_graph(), rng, CutPolicy::FirstActive);
+  EXPECT_EQ(result.cuts, 1u);
+  EXPECT_EQ(result.orphan_edges, 0u);
+  ASSERT_EQ(result.forest.roots().size(), 2u);
+  result.forest.validate(fig2_graph());
+  // Cut trees come first, the core tree is last.
+  const auto cut = result.forest.roots()[0];
+  const auto core = result.forest.roots()[1];
+  // The cut branch is 1-5 (paper Fig. 2, right side).
+  EXPECT_EQ(result.forest.start(cut), NodeId(1));
+  EXPECT_EQ(result.forest.end(cut), NodeId(5));
+  EXPECT_EQ(result.forest.to_string(cut),
+            "S(P(S(1-2, 2-3), 1-3), 3-5)");
+  EXPECT_EQ(result.forest.to_string(core),
+            "S(eps-0, P(S(0-1, 1-4), 0-4), 4-5, 5-eps)");
+}
+
+TEST(DecompositionForest, EveryEdgeCoveredExactlyOnce) {
+  Rng rng(11);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Dag base = generate_sp_dag(40, rng);
+    const Dag aug = add_random_edges(base, 30, rng);
+    const auto norm = normalize_source_sink(aug);
+    const auto result = grow_decomposition_forest(norm.dag, rng);
+    result.forest.validate(norm.dag);
+    // Collect all real leaf edges across roots; each edge exactly once.
+    std::set<std::uint32_t> seen;
+    std::size_t total = 0;
+    for (const auto root : result.forest.roots()) {
+      for (EdgeId e : result.forest.edges(root)) {
+        seen.insert(e.v);
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, norm.dag.edge_count());
+    EXPECT_EQ(seen.size(), norm.dag.edge_count());
+  }
+}
+
+TEST(DecompositionForest, CutsAgreeWithRecognizer) {
+  // cuts == 0  <=>  the (normalized) graph is series-parallel.
+  Rng rng(13);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Dag base = generate_sp_dag(25, rng);
+    const std::size_t extra = rng.below(8);  // 0..7 extra edges
+    const Dag aug = add_random_edges(base, extra, rng);
+    const auto norm = normalize_source_sink(aug);
+    const bool sp = is_series_parallel(norm.dag);
+    const auto result = grow_decomposition_forest(norm.dag, rng);
+    if (sp) {
+      EXPECT_EQ(result.cuts, 0u) << "SP graph must decompose without cuts";
+    } else {
+      EXPECT_GT(result.cuts, 0u) << "non-SP graph must cut at least once";
+    }
+  }
+}
+
+TEST(DecompositionForest, AllCutPoliciesCoverAllEdges) {
+  Rng rng(17);
+  const Dag base = generate_sp_dag(30, rng);
+  const Dag aug = add_random_edges(base, 20, rng);
+  const auto norm = normalize_source_sink(aug);
+  for (CutPolicy policy :
+       {CutPolicy::Random, CutPolicy::SmallestSubtree,
+        CutPolicy::LargestSubtree, CutPolicy::FirstActive}) {
+    Rng local(3);
+    const auto result = grow_decomposition_forest(norm.dag, local, policy);
+    result.forest.validate(norm.dag);
+    std::size_t total = 0;
+    for (const auto root : result.forest.roots()) {
+      total += result.forest.edges(root).size();
+    }
+    EXPECT_EQ(total, norm.dag.edge_count());
+  }
+}
+
+TEST(DecompositionForest, SingleNodeGraph) {
+  Dag d(1);
+  Rng rng(1);
+  const auto result = grow_decomposition_forest(d, rng);
+  EXPECT_EQ(result.cuts, 0u);
+  ASSERT_EQ(result.forest.roots().size(), 1u);
+}
+
+TEST(DecompositionForest, RequiresUniqueSourceAndSink) {
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(2));
+  d.add_edge(NodeId(2), NodeId(3));
+  Rng rng(1);
+  EXPECT_THROW(grow_decomposition_forest(d, rng), Error);
+}
+
+TEST(DecompositionForest, DeterministicWithFixedSeed) {
+  Rng g1(5);
+  Rng g2(5);
+  const Dag base = generate_sp_dag(30, g1);
+  Rng g3(5);
+  const Dag base2 = generate_sp_dag(30, g3);
+  const Dag aug1 = add_random_edges(base, 15, g1);
+  // Rebuild identically.
+  Rng g4(5);
+  generate_sp_dag(30, g4);  // advance to same state (returns `base` again)
+  const Dag aug2 = add_random_edges(base2, 15, g4);
+
+  Rng r1(9);
+  Rng r2(9);
+  const auto n1 = normalize_source_sink(aug1);
+  const auto n2 = normalize_source_sink(aug2);
+  const auto d1 = grow_decomposition_forest(n1.dag, r1);
+  const auto d2 = grow_decomposition_forest(n2.dag, r2);
+  ASSERT_EQ(d1.forest.roots().size(), d2.forest.roots().size());
+  for (std::size_t i = 0; i < d1.forest.roots().size(); ++i) {
+    EXPECT_EQ(d1.forest.to_string(d1.forest.roots()[i]),
+              d2.forest.to_string(d2.forest.roots()[i]));
+  }
+}
+
+// ---- Subgraph sets ----
+
+TEST(SubgraphSet, SingleNodeSet) {
+  const auto set = single_node_subgraphs(4);
+  ASSERT_EQ(set.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(set.subgraphs[i], std::vector<NodeId>{NodeId(i)});
+  }
+}
+
+TEST(SubgraphSet, Fig1MatchesPaperExample) {
+  // Paper Section III-C: S = {{0},{1},{2},{3},{4},{5},{1,2,3},{0,...,5}}.
+  Rng rng(1);
+  const auto set = series_parallel_subgraphs(fig1_graph(), rng);
+  std::set<std::vector<NodeId>> got(set.subgraphs.begin(),
+                                    set.subgraphs.end());
+  std::set<std::vector<NodeId>> want;
+  for (std::uint32_t i = 0; i < 6; ++i) want.insert({NodeId(i)});
+  want.insert({NodeId(1), NodeId(2), NodeId(3)});
+  want.insert({NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4),
+               NodeId(5)});
+  EXPECT_EQ(got, want);
+}
+
+TEST(SubgraphSet, AlwaysContainsAllSingletons) {
+  Rng rng(3);
+  const Dag base = generate_sp_dag(30, rng);
+  const Dag aug = add_random_edges(base, 10, rng);
+  const auto set = series_parallel_subgraphs(aug, rng);
+  std::set<std::vector<NodeId>> got(set.subgraphs.begin(),
+                                    set.subgraphs.end());
+  for (std::uint32_t i = 0; i < aug.node_count(); ++i) {
+    EXPECT_TRUE(got.count({NodeId(i)})) << "missing singleton " << i;
+  }
+}
+
+TEST(SubgraphSet, NeverContainsVirtualNodes) {
+  // Graph with two sources and two sinks; normalization adds virtual nodes
+  // which must not leak into subgraphs.
+  Dag d(4);
+  d.add_edge(NodeId(0), NodeId(2));
+  d.add_edge(NodeId(1), NodeId(3));
+  d.add_edge(NodeId(0), NodeId(3));
+  Rng rng(5);
+  const auto set = series_parallel_subgraphs(d, rng);
+  for (const auto& sg : set.subgraphs) {
+    for (NodeId n : sg) {
+      EXPECT_LT(n.v, d.node_count());
+    }
+  }
+}
+
+TEST(SubgraphSet, LinearSizeOnSpGraphs) {
+  Rng rng(7);
+  for (std::size_t n : {20u, 60u, 120u}) {
+    const Dag d = generate_sp_dag(n, rng);
+    const auto set = series_parallel_subgraphs(d, rng);
+    // Singletons (n) plus at most ~2 operations per node.
+    EXPECT_GE(set.size(), n);
+    EXPECT_LE(set.size(), 3 * n);
+  }
+}
+
+TEST(SubgraphSet, SubgraphsAreSortedAndUnique) {
+  Rng rng(9);
+  const Dag base = generate_sp_dag(40, rng);
+  const Dag aug = add_random_edges(base, 20, rng);
+  const auto set = series_parallel_subgraphs(aug, rng);
+  std::set<std::vector<NodeId>> dedup(set.subgraphs.begin(),
+                                      set.subgraphs.end());
+  EXPECT_EQ(dedup.size(), set.size());
+  for (const auto& sg : set.subgraphs) {
+    EXPECT_TRUE(std::is_sorted(sg.begin(), sg.end()));
+  }
+}
+
+TEST(SubgraphSet, ManyAddedEdgesConvergeTowardSingletons) {
+  // Paper Section IV-C: with many conflicting edges the SP decomposition
+  // converges towards the single-node decomposition.
+  Rng rng(21);
+  const Dag base = generate_sp_dag(40, rng);
+  const auto sparse = series_parallel_subgraphs(base, rng);
+  const Dag dense = add_random_edges(base, 200, rng);
+  const auto dense_set = series_parallel_subgraphs(dense, rng);
+
+  // Decomposition trees "converge towards single edges": multi-node
+  // subgraphs shrink on average (the count may grow as trees fragment).
+  auto mean_non_singleton_size = [](const SubgraphSet& s) {
+    std::size_t count = 0;
+    std::size_t total = 0;
+    for (const auto& sg : s.subgraphs) {
+      if (sg.size() > 1) {
+        ++count;
+        total += sg.size();
+      }
+    }
+    return count ? static_cast<double>(total) / static_cast<double>(count)
+                 : 0.0;
+  };
+  EXPECT_LT(mean_non_singleton_size(dense_set),
+            mean_non_singleton_size(sparse));
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,135 @@
+#include "sp/sp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spmap {
+namespace {
+
+TEST(SpTree, LeafBasics) {
+  Dag d(2);
+  const EdgeId e = d.add_edge(NodeId(0), NodeId(1));
+  SpForest f;
+  const auto leaf = f.add_leaf(NodeId(0), NodeId(1), e);
+  EXPECT_EQ(f.node(leaf).kind, SpKind::Leaf);
+  EXPECT_EQ(f.start(leaf), NodeId(0));
+  EXPECT_EQ(f.end(leaf), NodeId(1));
+  EXPECT_EQ(f.outsize(leaf), 1u);
+  EXPECT_EQ(f.leaf_count(leaf), 1u);
+  EXPECT_EQ(f.to_string(leaf), "0-1");
+}
+
+TEST(SpTree, VirtualLeafUsesEps) {
+  SpForest f;
+  const auto leaf = f.add_leaf(NodeId::invalid(), NodeId(0));
+  EXPECT_EQ(f.to_string(leaf), "eps-0");
+  EXPECT_TRUE(f.spanned_nodes(leaf) == std::vector<NodeId>{NodeId(0)});
+}
+
+TEST(SpTree, SeriesChainsAndFlattens) {
+  Dag d(4);
+  const EdgeId e01 = d.add_edge(NodeId(0), NodeId(1));
+  const EdgeId e12 = d.add_edge(NodeId(1), NodeId(2));
+  const EdgeId e23 = d.add_edge(NodeId(2), NodeId(3));
+  SpForest f;
+  auto t = f.add_leaf(NodeId(0), NodeId(1), e01);
+  t = f.make_series(t, f.add_leaf(NodeId(1), NodeId(2), e12));
+  const auto before = t;
+  t = f.make_series(t, f.add_leaf(NodeId(2), NodeId(3), e23));
+  // Flattening extends the same series node in place.
+  EXPECT_EQ(t, before);
+  EXPECT_EQ(f.node(t).children.size(), 3u);
+  EXPECT_EQ(f.start(t), NodeId(0));
+  EXPECT_EQ(f.end(t), NodeId(3));
+  EXPECT_EQ(f.leaf_count(t), 3u);
+  EXPECT_EQ(f.to_string(t), "S(0-1, 1-2, 2-3)");
+  f.add_root(t);
+  EXPECT_NO_THROW(f.validate(d));
+}
+
+TEST(SpTree, SeriesEndpointMismatchThrows) {
+  SpForest f;
+  const auto a = f.add_leaf(NodeId(0), NodeId(1));
+  const auto b = f.add_leaf(NodeId(2), NodeId(3));
+  EXPECT_THROW(f.make_series(a, b), Error);
+}
+
+TEST(SpTree, ParallelCombinesAndFlattens) {
+  Dag d(2);
+  const EdgeId e1 = d.add_edge(NodeId(0), NodeId(1));
+  const EdgeId e2 = d.add_edge(NodeId(0), NodeId(1));
+  const EdgeId e3 = d.add_edge(NodeId(0), NodeId(1));
+  SpForest f;
+  const auto a = f.add_leaf(NodeId(0), NodeId(1), e1);
+  const auto b = f.add_leaf(NodeId(0), NodeId(1), e2);
+  const auto p = f.make_parallel({a, b});
+  EXPECT_EQ(f.node(p).kind, SpKind::Parallel);
+  EXPECT_EQ(f.outsize(p), 2u);
+  // Nested parallel flattens into one operation.
+  const auto c = f.add_leaf(NodeId(0), NodeId(1), e3);
+  const auto p2 = f.make_parallel({p, c});
+  EXPECT_EQ(f.node(p2).children.size(), 3u);
+  EXPECT_EQ(f.outsize(p2), 3u);
+  EXPECT_EQ(f.leaf_count(p2), 3u);
+}
+
+TEST(SpTree, ParallelSinglePartPassesThrough) {
+  SpForest f;
+  const auto a = f.add_leaf(NodeId(0), NodeId(1));
+  EXPECT_EQ(f.make_parallel({a}), a);
+}
+
+TEST(SpTree, ParallelEndpointMismatchThrows) {
+  SpForest f;
+  const auto a = f.add_leaf(NodeId(0), NodeId(1));
+  const auto b = f.add_leaf(NodeId(0), NodeId(2));
+  EXPECT_THROW(f.make_parallel({a, b}), Error);
+}
+
+TEST(SpTree, SeriesOutsizeTracksLastChild) {
+  // Series ending in a parallel operation adopts the parallel's outsize.
+  SpForest f;
+  const auto head = f.add_leaf(NodeId(0), NodeId(1));
+  const auto p = f.make_parallel(
+      {f.add_leaf(NodeId(1), NodeId(2)), f.add_leaf(NodeId(1), NodeId(2))});
+  const auto t = f.make_series(head, p);
+  EXPECT_EQ(f.outsize(t), 2u);
+}
+
+TEST(SpTree, SpannedNodesUnionOfLeafEndpoints) {
+  SpForest f;
+  auto t = f.add_leaf(NodeId(3), NodeId(1));
+  t = f.make_series(t, f.add_leaf(NodeId(1), NodeId(7)));
+  const auto nodes = f.spanned_nodes(t);
+  const std::vector<NodeId> expect{NodeId(1), NodeId(3), NodeId(7)};
+  EXPECT_EQ(nodes, expect);
+}
+
+TEST(SpTree, EdgesReturnsOnlyRealLeaves) {
+  Dag d(2);
+  const EdgeId e = d.add_edge(NodeId(0), NodeId(1));
+  SpForest f;
+  auto t = f.add_leaf(NodeId::invalid(), NodeId(0));
+  t = f.make_series(t, f.add_leaf(NodeId(0), NodeId(1), e));
+  const auto edges = f.edges(t);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], e);
+}
+
+TEST(SpTree, ValidateCatchesBadLeafEdge) {
+  Dag d(3);
+  const EdgeId e = d.add_edge(NodeId(0), NodeId(1));
+  SpForest f;
+  // Leaf claims endpoints (1, 2) but the edge is (0, 1).
+  const auto leaf = f.add_leaf(NodeId(1), NodeId(2), e);
+  f.add_root(leaf);
+  EXPECT_THROW(f.validate(d), Error);
+}
+
+TEST(SpTree, IndexOutOfRangeThrows) {
+  SpForest f;
+  EXPECT_THROW(f.node(0), Error);
+  EXPECT_THROW(f.node(-1), Error);
+}
+
+}  // namespace
+}  // namespace spmap

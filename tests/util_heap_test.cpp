@@ -1,0 +1,121 @@
+#include "util/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spmap {
+namespace {
+
+TEST(IndexedMaxHeap, PushPopOrder) {
+  IndexedMaxHeap h(5);
+  h.push_or_update(0, 1.0);
+  h.push_or_update(1, 5.0);
+  h.push_or_update(2, 3.0);
+  EXPECT_EQ(h.pop(), 1u);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMaxHeap, UpdateIncrease) {
+  IndexedMaxHeap h(3);
+  h.push_or_update(0, 1.0);
+  h.push_or_update(1, 2.0);
+  h.push_or_update(0, 10.0);
+  EXPECT_EQ(h.top(), 0u);
+  EXPECT_DOUBLE_EQ(h.top_priority(), 10.0);
+}
+
+TEST(IndexedMaxHeap, UpdateDecrease) {
+  IndexedMaxHeap h(3);
+  h.push_or_update(0, 10.0);
+  h.push_or_update(1, 2.0);
+  h.push_or_update(0, 1.0);
+  EXPECT_EQ(h.top(), 1u);
+}
+
+TEST(IndexedMaxHeap, RemoveMiddle) {
+  IndexedMaxHeap h(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    h.push_or_update(i, static_cast<double>(i));
+  }
+  h.remove(2);
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_EQ(h.pop(), 3u);
+  EXPECT_EQ(h.pop(), 1u);
+  EXPECT_EQ(h.pop(), 0u);
+}
+
+TEST(IndexedMaxHeap, TopOnEmptyThrows) {
+  IndexedMaxHeap h(1);
+  EXPECT_THROW(h.top(), Error);
+}
+
+TEST(IndexedMaxHeap, ResetClearsState) {
+  IndexedMaxHeap h(2);
+  h.push_or_update(0, 1.0);
+  h.reset(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.key_space(), 10u);
+  EXPECT_FALSE(h.contains(0));
+}
+
+// Property test: against a reference implementation under random operations.
+TEST(IndexedMaxHeap, RandomizedAgainstReference) {
+  constexpr std::size_t kKeys = 64;
+  IndexedMaxHeap h(kKeys);
+  std::vector<double> ref(kKeys);
+  std::vector<bool> present(kKeys, false);
+  Rng rng(99);
+
+  auto ref_top = [&]() {
+    std::size_t best = kKeys;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      if (present[k] && (best == kKeys || ref[k] > ref[best])) best = k;
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    const auto op = rng.below(4);
+    const std::size_t key = rng.below(kKeys);
+    switch (op) {
+      case 0:
+      case 1: {
+        const double p = rng.uniform(-100.0, 100.0);
+        h.push_or_update(key, p);
+        ref[key] = p;
+        present[key] = true;
+        break;
+      }
+      case 2:
+        if (present[key]) {
+          h.remove(key);
+          present[key] = false;
+        }
+        break;
+      case 3:
+        if (!h.empty()) {
+          const std::size_t got = h.pop();
+          const std::size_t want = ref_top();
+          ASSERT_TRUE(present[got]);
+          // Priorities must match (keys may differ on ties).
+          ASSERT_DOUBLE_EQ(ref[got], ref[want]);
+          present[got] = false;
+        }
+        break;
+    }
+    // Invariant: top always has the max priority.
+    if (!h.empty()) {
+      const std::size_t want = ref_top();
+      ASSERT_DOUBLE_EQ(h.top_priority(), ref[want]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,96 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spmap {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.5).as_double(), 3.5);
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  EXPECT_THROW(Json(1.0).as_string(), Error);
+  EXPECT_THROW(Json("x").as_double(), Error);
+  EXPECT_THROW(Json(1.5).as_int(), Error);
+  EXPECT_THROW(Json().at("k"), Error);
+}
+
+TEST(Json, ObjectSetAndAt) {
+  Json o = Json::object();
+  o.set("a", 1);
+  o.set("b", "two");
+  o.set("a", 3);  // overwrite
+  EXPECT_EQ(o.at("a").as_int(), 3);
+  EXPECT_EQ(o.at("b").as_string(), "two");
+  EXPECT_TRUE(o.contains("a"));
+  EXPECT_FALSE(o.contains("c"));
+  EXPECT_THROW(o.at("c"), Error);
+}
+
+TEST(Json, RoundTripCompact) {
+  Json o = Json::object();
+  o.set("name", "series-parallel");
+  o.set("count", 17);
+  o.set("ratio", 0.25);
+  o.set("flag", false);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(Json(nullptr));
+  arr.push_back("x\"y\\z");
+  o.set("items", std::move(arr));
+
+  const Json parsed = Json::parse(o.dump());
+  EXPECT_EQ(parsed.at("name").as_string(), "series-parallel");
+  EXPECT_EQ(parsed.at("count").as_int(), 17);
+  EXPECT_DOUBLE_EQ(parsed.at("ratio").as_double(), 0.25);
+  EXPECT_FALSE(parsed.at("flag").as_bool());
+  const auto& items = parsed.at("items").as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].as_int(), 1);
+  EXPECT_TRUE(items[1].is_null());
+  EXPECT_EQ(items[2].as_string(), "x\"y\\z");
+}
+
+TEST(Json, ParseWhitespaceAndNesting) {
+  const Json v = Json::parse(R"(  { "a" : [ { "b" : [ 1 , 2 ] } ] }  )");
+  EXPECT_EQ(v.at("a").as_array()[0].at("b").as_array()[1].as_int(), 2);
+}
+
+TEST(Json, ParseNegativeAndExponent) {
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_double(), -250.0);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("{} extra"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+}
+
+TEST(Json, PrettyDumpParses) {
+  Json o = Json::object();
+  o.set("x", 1);
+  Json a = Json::array();
+  a.push_back(2);
+  o.set("y", std::move(a));
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const Json back = Json::parse(pretty);
+  EXPECT_EQ(back.at("x").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace spmap

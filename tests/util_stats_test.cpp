@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spmap {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Samples, Quantiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+}
+
+TEST(Samples, QuantileValidation) {
+  Samples s;
+  EXPECT_THROW(s.median(), Error);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), Error);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1.0);
+}
+
+TEST(Samples, SortCacheInvalidatedByAdd) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Improvement, BasicPositive) {
+  // 20 % and 10 % improvements average to 15 %.
+  const double imp = average_positive_relative_improvement({10.0, 10.0},
+                                                           {8.0, 9.0});
+  EXPECT_NEAR(imp, 0.15, 1e-12);
+}
+
+TEST(Improvement, DeteriorationsCountAsZero) {
+  // Paper Section IV-A: deteriorations are truncated to zero improvement.
+  const double imp = average_positive_relative_improvement({10.0, 10.0},
+                                                           {8.0, 15.0});
+  EXPECT_NEAR(imp, 0.10, 1e-12);
+}
+
+TEST(Improvement, SizeMismatchThrows) {
+  EXPECT_THROW(
+      average_positive_relative_improvement({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(Improvement, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(average_positive_relative_improvement({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,157 @@
+#include "workflows/wfcommons.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/platform.hpp"
+#include "sched/evaluator.hpp"
+
+namespace spmap {
+namespace {
+
+/// Minimal wfformat instance: split -> {a, b} -> merge with file-based
+/// data flow. Sizes in bytes.
+const char* kSample = R"({
+  "name": "sample",
+  "workflow": {
+    "tasks": [
+      {"name": "split", "runtimeInSeconds": 2.0,
+       "files": [
+         {"link": "output", "name": "chunk0", "sizeInBytes": 50000000},
+         {"link": "output", "name": "chunk1", "sizeInBytes": 70000000}
+       ]},
+      {"name": "a", "runtimeInSeconds": 5.0, "parents": ["split"],
+       "files": [
+         {"link": "input", "name": "chunk0", "sizeInBytes": 50000000},
+         {"link": "output", "name": "resA", "sizeInBytes": 10000000}
+       ]},
+      {"name": "b", "runtimeInSeconds": 4.0, "parents": ["split"],
+       "files": [
+         {"link": "input", "name": "chunk1", "sizeInBytes": 70000000},
+         {"link": "output", "name": "resB", "sizeInBytes": 20000000}
+       ]},
+      {"name": "merge", "runtime": 1.0, "parents": ["a", "b"],
+       "files": [
+         {"link": "input", "name": "resA", "sizeInBytes": 10000000},
+         {"link": "input", "name": "resB", "sizeInBytes": 20000000}
+       ]}
+    ]
+  }
+})";
+
+TEST(WfCommons, ImportStructure) {
+  Rng rng(1);
+  const TaskGraph tg = import_wfcommons_json(kSample, rng);
+  ASSERT_EQ(tg.dag.node_count(), 4u);
+  ASSERT_EQ(tg.dag.edge_count(), 4u);
+  // Name-preserving labels.
+  EXPECT_EQ(tg.dag.label(NodeId(0)), "split");
+  EXPECT_EQ(tg.dag.label(NodeId(3)), "merge");
+  // Fork/join shape.
+  EXPECT_EQ(tg.dag.out_degree(NodeId(0)), 2u);
+  EXPECT_EQ(tg.dag.in_degree(NodeId(3)), 2u);
+}
+
+TEST(WfCommons, EdgeVolumesFromFiles) {
+  Rng rng(2);
+  const TaskGraph tg = import_wfcommons_json(kSample, rng);
+  // split -> a carries chunk0 (50 MB); split -> b carries chunk1 (70 MB).
+  for (const EdgeId e : tg.dag.out_edges(NodeId(0))) {
+    const std::string& dst = tg.dag.label(tg.dag.dst(e));
+    EXPECT_DOUBLE_EQ(tg.dag.data_mb(e), dst == "a" ? 50.0 : 70.0);
+  }
+  // a -> merge carries resA (10 MB).
+  const EdgeId am = tg.dag.out_edges(NodeId(1)).front();
+  EXPECT_DOUBLE_EQ(tg.dag.data_mb(am), 10.0);
+}
+
+TEST(WfCommons, RuntimeReproducedOnReferenceDevice) {
+  // complexity is derived so that exec on a reference_gops device with
+  // perfect parallelizability equals the recorded runtime.
+  Rng rng(3);
+  WfCommonsOptions options;
+  const TaskGraph tg = import_wfcommons_json(kSample, rng, options);
+  for (std::size_t i = 0; i < tg.dag.node_count(); ++i) {
+    const NodeId n(i);
+    const double data =
+        std::max({tg.dag.in_data_mb(n), tg.dag.out_data_mb(n), 1.0});
+    const double exec =
+        tg.attrs.complexity[i] * data / 1000.0 / options.reference_gops;
+    const double expected = (tg.dag.label(n) == "split")   ? 2.0
+                            : (tg.dag.label(n) == "a")     ? 5.0
+                            : (tg.dag.label(n) == "b")     ? 4.0
+                                                           : 1.0;
+    EXPECT_NEAR(exec, expected, 1e-9) << tg.dag.label(n);
+  }
+}
+
+TEST(WfCommons, ImportedGraphIsMappable) {
+  Rng rng(4);
+  const TaskGraph tg = import_wfcommons_json(kSample, rng);
+  const Platform p = reference_platform();
+  const CostModel cost(tg.dag, tg.attrs, p);
+  const Evaluator eval(cost);
+  EXPECT_GT(eval.default_mapping_makespan(), 0.0);
+  EXPECT_LT(eval.default_mapping_makespan(), kInfeasible);
+}
+
+TEST(WfCommons, LegacyJobsArrayAndDefaults) {
+  Rng rng(5);
+  const char* legacy = R"({
+    "workflow": {"jobs": [
+      {"name": "x"},
+      {"name": "y", "parents": ["x"]}
+    ]}
+  })";
+  const TaskGraph tg = import_wfcommons_json(legacy, rng);
+  ASSERT_EQ(tg.dag.node_count(), 2u);
+  ASSERT_EQ(tg.dag.edge_count(), 1u);
+  // No file data: default edge volume applies.
+  EXPECT_DOUBLE_EQ(tg.dag.data_mb(EdgeId(0u)), 10.0);
+  EXPECT_GT(tg.attrs.complexity[0], 0.0);  // default runtime
+}
+
+TEST(WfCommons, Errors) {
+  Rng rng(6);
+  EXPECT_THROW(import_wfcommons_json("{}", rng), Error);
+  EXPECT_THROW(import_wfcommons_json(R"({"workflow": {}})", rng), Error);
+  EXPECT_THROW(import_wfcommons_json(
+                   R"({"workflow": {"tasks": [
+                     {"name": "a", "parents": ["ghost"]}]}})",
+                   rng),
+               Error);
+  // Duplicate names rejected.
+  EXPECT_THROW(import_wfcommons_json(
+                   R"({"workflow": {"tasks": [
+                     {"name": "a"}, {"name": "a"}]}})",
+                   rng),
+               Error);
+  // Cycles rejected.
+  EXPECT_THROW(import_wfcommons_json(
+                   R"({"workflow": {"tasks": [
+                     {"name": "a", "parents": ["b"]},
+                     {"name": "b", "parents": ["a"]}]}})",
+                   rng),
+               Error);
+}
+
+TEST(WfCommons, AugmentationFollowsSectionIVB) {
+  // Import a wider instance and sanity-check the random augmentation.
+  Rng rng(7);
+  std::string big = R"({"workflow": {"tasks": [)";
+  for (int i = 0; i < 200; ++i) {
+    if (i) big += ",";
+    big += R"({"name": "t)" + std::to_string(i) + R"("})";
+  }
+  big += "]}}";
+  const TaskGraph tg = import_wfcommons_json(big, rng);
+  int perfect = 0;
+  for (std::size_t i = 0; i < tg.attrs.size(); ++i) {
+    if (tg.attrs.parallelizability[i] == 1.0) ++perfect;
+    EXPECT_GT(tg.attrs.streamability[i], 0.0);
+  }
+  EXPECT_GT(perfect, 60);
+  EXPECT_LT(perfect, 140);
+}
+
+}  // namespace
+}  // namespace spmap

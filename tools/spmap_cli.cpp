@@ -1,0 +1,250 @@
+/// spmap_cli — command-line driver for the spmap library.
+///
+/// Subcommands:
+///   generate   Create a task graph (random SP / almost-SP / workflow) and
+///              write it as JSON.
+///   decompose  Print the series-parallel decomposition forest of a graph.
+///   map        Run a mapping algorithm and print mapping + makespan
+///              (+ optional Gantt chart / schedule JSON).
+///   evaluate   Evaluate an explicit mapping.
+///
+/// Examples:
+///   spmap_cli generate --type sp --tasks 40 --seed 7 --out g.json
+///   spmap_cli generate --type workflow --family montage --width 16 --out m.json
+///   spmap_cli decompose --in g.json
+///   spmap_cli map --in g.json --mapper spff --gantt
+///   spmap_cli evaluate --in g.json --mapping 0,0,1,2,0,...
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "mappers/cpu_only.hpp"
+#include "mappers/decomposition.hpp"
+#include "mappers/heft.hpp"
+#include "mappers/lookahead_heft.hpp"
+#include "mappers/milp_mappers.hpp"
+#include "mappers/nsga2.hpp"
+#include "mappers/peft.hpp"
+#include "sched/schedule.hpp"
+#include "sp/decomposition_forest.hpp"
+#include "util/flags.hpp"
+#include "workflows/wfcommons.hpp"
+#include "workflows/workflows.hpp"
+
+using namespace spmap;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spmap_cli <generate|import|decompose|map|evaluate> "
+               "[flags]\n"
+               "  import    --wf FILE [--seed S] [--out FILE]   "
+               "(WfCommons wfformat -> spmap JSON)\n"
+               "  generate  --type sp|almost-sp|workflow --tasks N "
+               "[--extra-edges K] [--family NAME --width W] [--seed S] "
+               "[--out FILE]\n"
+               "  decompose --in FILE [--seed S] [--dot]\n"
+               "  map       --in FILE --mapper cpu|heft|laheft|peft|sn|snff|"
+               "sp|spff|nsga|wgdp-dev|wgdp-time|zhouliu [--seed S] "
+               "[--gantt] [--schedule-json] [--random-orders N]\n"
+               "  evaluate  --in FILE --mapping 0,1,2,... "
+               "[--random-orders N]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open input file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_output(const std::string& path, const std::string& content) {
+  if (path.empty()) {
+    std::fputs(content.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot open output file: " + path);
+  out << content;
+}
+
+WorkflowFamily family_by_name(const std::string& name) {
+  for (const WorkflowFamily f : all_workflow_families()) {
+    if (name == workflow_family_name(f)) return f;
+  }
+  throw Error("unknown workflow family: " + name);
+}
+
+int cmd_generate(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"type", "tasks", "extra-edges", "family", "width",
+                     "seed", "out"});
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const std::string type = flags.get("type", "sp");
+
+  Dag dag;
+  TaskAttrs attrs;
+  if (type == "sp" || type == "almost-sp") {
+    const auto tasks = static_cast<std::size_t>(flags.get_int("tasks", 30));
+    dag = generate_sp_dag(tasks, rng);
+    if (type == "almost-sp") {
+      const auto extra =
+          static_cast<std::size_t>(flags.get_int("extra-edges", 10));
+      dag = add_random_edges(dag, extra, rng);
+    }
+    attrs = random_task_attrs(dag, rng);
+  } else if (type == "workflow") {
+    const auto width = static_cast<std::size_t>(flags.get_int("width", 12));
+    WorkflowInstance inst =
+        generate_workflow(family_by_name(flags.get("family", "montage")),
+                          width, rng);
+    dag = std::move(inst.dag);
+    attrs = std::move(inst.attrs);
+  } else {
+    throw Error("unknown --type: " + type);
+  }
+  write_output(flags.get("out", ""), to_json(dag, attrs) + "\n");
+  std::fprintf(stderr, "generated %zu tasks, %zu edges\n", dag.node_count(),
+               dag.edge_count());
+  return 0;
+}
+
+int cmd_import(int argc, char** argv) {
+  const Flags flags(argc, argv, {"wf", "seed", "out"});
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const TaskGraph tg =
+      import_wfcommons_json(read_file(flags.get("wf", "")), rng);
+  write_output(flags.get("out", ""), to_json(tg.dag, tg.attrs) + "\n");
+  std::fprintf(stderr, "imported %zu tasks, %zu edges\n",
+               tg.dag.node_count(), tg.dag.edge_count());
+  return 0;
+}
+
+int cmd_decompose(int argc, char** argv) {
+  const Flags flags(argc, argv, {"in", "seed", "dot"});
+  const TaskGraph tg = task_graph_from_json(read_file(flags.get("in", "")));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  if (flags.get_bool("dot", false)) {
+    std::fputs(to_dot(tg.dag).c_str(), stdout);
+  }
+  const Normalized norm = normalize_source_sink(tg.dag);
+  const auto result = grow_decomposition_forest(norm.dag, rng);
+  std::printf("nodes=%zu edges=%zu trees=%zu cuts=%zu series_parallel=%s\n",
+              tg.dag.node_count(), tg.dag.edge_count(),
+              result.forest.roots().size(), result.cuts,
+              result.cuts == 0 ? "yes" : "no");
+  for (std::size_t i = 0; i < result.forest.roots().size(); ++i) {
+    std::printf("tree %zu: %s\n", i,
+                result.forest.to_string(result.forest.roots()[i]).c_str());
+  }
+  const auto set = subgraphs_from_forest(result.forest, tg.dag.node_count());
+  std::printf("candidate subgraphs: %zu\n", set.size());
+  return 0;
+}
+
+std::unique_ptr<Mapper> mapper_by_name(const std::string& name,
+                                       const Dag& dag, Rng& rng) {
+  if (name == "cpu") return std::make_unique<CpuOnlyMapper>();
+  if (name == "heft") return std::make_unique<HeftMapper>();
+  if (name == "laheft") return std::make_unique<LookaheadHeftMapper>();
+  if (name == "peft") return std::make_unique<PeftMapper>();
+  if (name == "sn") return make_single_node_mapper(dag, false);
+  if (name == "snff") return make_single_node_mapper(dag, true);
+  if (name == "sp") return make_series_parallel_mapper(dag, rng, false);
+  if (name == "spff") return make_series_parallel_mapper(dag, rng, true);
+  if (name == "nsga") return std::make_unique<Nsga2Mapper>();
+  if (name == "wgdp-dev") return std::make_unique<WgdpDeviceMapper>();
+  if (name == "wgdp-time") return std::make_unique<WgdpTimeMapper>();
+  if (name == "zhouliu") return std::make_unique<ZhouLiuMapper>();
+  throw Error("unknown mapper: " + name);
+}
+
+int cmd_map(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"in", "mapper", "seed", "gantt", "schedule-json",
+                     "random-orders"});
+  const TaskGraph tg = task_graph_from_json(read_file(flags.get("in", "")));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const Platform platform = reference_platform();
+  const CostModel cost(tg.dag, tg.attrs, platform);
+  const auto orders =
+      static_cast<std::size_t>(flags.get_int("random-orders", 100));
+  const Evaluator eval(cost, {.random_orders = orders});
+
+  auto mapper = mapper_by_name(flags.get("mapper", "spff"), tg.dag, rng);
+  const MapperResult r = mapper->map(eval);
+  const double baseline = eval.default_mapping_makespan();
+  std::printf("mapper=%s makespan=%.6f baseline=%.6f improvement=%.2f%%\n",
+              mapper->name().c_str(), r.predicted_makespan, baseline,
+              100.0 * std::max(0.0, (baseline - r.predicted_makespan) /
+                                        baseline));
+  std::printf("mapping=");
+  for (std::size_t i = 0; i < r.mapping.size(); ++i) {
+    std::printf("%s%u", i ? "," : "", r.mapping.device[i].v);
+  }
+  std::printf("\n");
+  const Schedule schedule = extract_schedule(eval, r.mapping);
+  if (flags.get_bool("gantt", false)) {
+    std::fputs(schedule.to_gantt(tg.dag, platform).c_str(), stdout);
+  }
+  if (flags.get_bool("schedule-json", false)) {
+    std::fputs((schedule.to_json(tg.dag, platform).dump(2) + "\n").c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  const Flags flags(argc, argv, {"in", "mapping", "random-orders"});
+  const TaskGraph tg = task_graph_from_json(read_file(flags.get("in", "")));
+  const Platform platform = reference_platform();
+  const CostModel cost(tg.dag, tg.attrs, platform);
+  const auto orders =
+      static_cast<std::size_t>(flags.get_int("random-orders", 100));
+  const Evaluator eval(cost, {.random_orders = orders});
+
+  Mapping mapping(tg.dag.node_count(), platform.default_device());
+  const std::string spec = flags.get("mapping", "");
+  if (!spec.empty()) {
+    std::stringstream ss(spec);
+    std::string item;
+    std::size_t i = 0;
+    while (std::getline(ss, item, ',')) {
+      require(i < mapping.size(), "evaluate: mapping longer than graph");
+      mapping.device[i++] = DeviceId(
+          static_cast<std::uint32_t>(std::stoul(item)));
+    }
+    require(i == mapping.size(), "evaluate: mapping shorter than graph");
+  }
+  mapping.validate(tg.dag.node_count(), platform.device_count());
+  const double ms = eval.evaluate(mapping);
+  std::printf("makespan=%.6f feasible=%s\n", ms,
+              ms < kInfeasible ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (cmd == "import") return cmd_import(argc - 1, argv + 1);
+    if (cmd == "decompose") return cmd_decompose(argc - 1, argv + 1);
+    if (cmd == "map") return cmd_map(argc - 1, argv + 1);
+    if (cmd == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "spmap_cli: %s\n", ex.what());
+    return 1;
+  }
+  return usage();
+}
