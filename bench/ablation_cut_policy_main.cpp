@@ -13,7 +13,6 @@
 
 #include "graph/generators.hpp"
 #include "harness.hpp"
-#include "mappers/decomposition.hpp"
 #include "util/flags.hpp"
 
 using namespace spmap;
@@ -21,11 +20,8 @@ using namespace spmap::bench;
 
 namespace {
 
-MapperSpec cut_spec(const std::string& name, CutPolicy policy) {
-  return {name, [policy](const Dag& dag, Rng& rng) {
-            return make_series_parallel_mapper(dag, rng, /*first_fit=*/true,
-                                               policy);
-          }};
+MapperSpec cut_spec(const std::string& name, const std::string& policy) {
+  return spec_from_registry("spff:cut=" + policy, name);
 }
 
 }  // namespace
@@ -41,10 +37,8 @@ int main(int argc, char** argv) {
   Rng rng(seed);
 
   const std::vector<MapperSpec> specs{
-      cut_spec("cut=random", CutPolicy::Random),
-      cut_spec("cut=smallest", CutPolicy::SmallestSubtree),
-      cut_spec("cut=largest", CutPolicy::LargestSubtree),
-      cut_spec("cut=first", CutPolicy::FirstActive)};
+      cut_spec("cut=random", "random"), cut_spec("cut=smallest", "smallest"),
+      cut_spec("cut=largest", "largest"), cut_spec("cut=first", "first")};
 
   std::vector<double> xs;
   std::vector<std::map<std::string, AlgoMetrics>> rows;

@@ -15,7 +15,6 @@
 
 #include "graph/generators.hpp"
 #include "harness.hpp"
-#include "mappers/decomposition.hpp"
 #include "util/flags.hpp"
 
 using namespace spmap;
@@ -24,13 +23,9 @@ using namespace spmap::bench;
 namespace {
 
 MapperSpec gamma_spec(const std::string& name, double gamma) {
-  return {name, [gamma](const Dag& dag, Rng& rng) {
-            DecompositionParams params;
-            params.variant = DecompositionVariant::Threshold;
-            params.gamma = gamma;
-            return std::make_unique<DecompositionMapper>(
-                "gamma", series_parallel_subgraphs(dag, rng), params);
-          }};
+  char opts[48];
+  std::snprintf(opts, sizeof(opts), "spff:gamma=%g", gamma);
+  return spec_from_registry(opts, name);
 }
 
 }  // namespace

@@ -3,11 +3,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "mappers/decomposition.hpp"
-#include "mappers/heft.hpp"
-#include "mappers/milp_mappers.hpp"
-#include "mappers/nsga2.hpp"
-#include "mappers/peft.hpp"
+#include "mappers/registry.hpp"
 #include "sched/evaluator.hpp"
 #include "util/timer.hpp"
 
@@ -45,61 +41,59 @@ std::map<std::string, AlgoMetrics> run_point(
   return metrics;
 }
 
-MapperSpec heft_spec() {
-  return {"HEFT",
-          [](const Dag&, Rng&) { return std::make_unique<HeftMapper>(); }};
+MapperSpec spec_from_registry(const std::string& registry_spec,
+                              std::string display) {
+  // Resolve the name and validate the option string (syntax and keys)
+  // once, up front.
+  const auto [name, option_spec] = MapperRegistry::split_spec(registry_spec);
+  const MapperEntry& entry = MapperRegistry::instance().at(name);
+  entry.validate_options(MapperOptions::parse(option_spec));
+  if (display.empty()) display = entry.display_name;
+  return {std::move(display), [registry_spec](const Dag& dag, Rng& rng) {
+            return MapperRegistry::instance().create(registry_spec, dag, rng);
+          }};
 }
 
-MapperSpec peft_spec() {
-  return {"PEFT",
-          [](const Dag&, Rng&) { return std::make_unique<PeftMapper>(); }};
+namespace {
+
+std::string seconds_option(double time_limit_s) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", time_limit_s);
+  return buffer;
 }
+
+}  // namespace
+
+MapperSpec heft_spec() { return spec_from_registry("heft"); }
+
+MapperSpec peft_spec() { return spec_from_registry("peft"); }
 
 MapperSpec single_node_spec(bool first_fit) {
-  return {first_fit ? "SNFirstFit" : "SingleNode",
-          [first_fit](const Dag& dag, Rng&) {
-            return make_single_node_mapper(dag, first_fit);
-          }};
+  return spec_from_registry(first_fit ? "snff" : "sn");
 }
 
 MapperSpec series_parallel_spec(bool first_fit) {
-  return {first_fit ? "SPFirstFit" : "SeriesParallel",
-          [first_fit](const Dag& dag, Rng& rng) {
-            return make_series_parallel_mapper(dag, rng, first_fit);
-          }};
+  return spec_from_registry(first_fit ? "spff" : "sp");
 }
 
 MapperSpec nsga2_spec(std::size_t generations) {
-  return {"NSGAII", [generations](const Dag&, Rng& rng) {
-            Nsga2Params params;
-            params.generations = generations;
-            params.seed = rng();
-            return std::make_unique<Nsga2Mapper>(params);
-          }};
+  return spec_from_registry("nsga:generations=" +
+                            std::to_string(generations));
 }
 
 MapperSpec wgdp_device_spec(double time_limit_s) {
-  return {"WGDP-Dev", [time_limit_s](const Dag&, Rng&) {
-            MilpMapperParams params;
-            params.time_limit_s = time_limit_s;
-            return std::make_unique<WgdpDeviceMapper>(params);
-          }};
+  return spec_from_registry("wgdp-dev:time-limit=" +
+                            seconds_option(time_limit_s));
 }
 
 MapperSpec wgdp_time_spec(double time_limit_s) {
-  return {"WGDP-Time", [time_limit_s](const Dag&, Rng&) {
-            MilpMapperParams params;
-            params.time_limit_s = time_limit_s;
-            return std::make_unique<WgdpTimeMapper>(params);
-          }};
+  return spec_from_registry("wgdp-time:time-limit=" +
+                            seconds_option(time_limit_s));
 }
 
 MapperSpec zhouliu_spec(double time_limit_s) {
-  return {"ZhouLiu", [time_limit_s](const Dag&, Rng&) {
-            MilpMapperParams params;
-            params.time_limit_s = time_limit_s;
-            return std::make_unique<ZhouLiuMapper>(params);
-          }};
+  return spec_from_registry("zhouliu:time-limit=" +
+                            seconds_option(time_limit_s));
 }
 
 void print_series(const std::string& experiment, const std::string& x_name,

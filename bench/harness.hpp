@@ -37,6 +37,13 @@ struct MapperSpec {
   std::function<std::unique_ptr<Mapper>(const Dag& dag, Rng& rng)> make;
 };
 
+/// The one way experiments pick algorithms: a MapperRegistry spec string
+/// ("name" or "name:key=value,..."). `display` overrides the name used in
+/// result tables (default: the registry entry's display name). The spec is
+/// resolved eagerly, so typos fail at experiment setup, not mid-sweep.
+MapperSpec spec_from_registry(const std::string& registry_spec,
+                              std::string display = "");
+
 /// One generated test case.
 struct Case {
   Dag dag;

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "mappers/decomposition.hpp"
+#include "mappers/registry.hpp"
 #include "model/platform.hpp"
 
 using namespace spmap;
@@ -73,8 +73,8 @@ int main() {
               eval.evaluate(whole));
 
   Rng rng(1);
-  auto sn = make_single_node_mapper(dag, false);
-  auto sp = make_series_parallel_mapper(dag, rng, false);
+  auto sn = MapperRegistry::instance().create("sn", dag, rng);
+  auto sp = MapperRegistry::instance().create("sp", dag, rng);
   const MapperResult rs = sn->map(eval);
   const MapperResult rp = sp->map(eval);
   std::printf("\nSingleNode decomposition finds       : %6.2f s  "

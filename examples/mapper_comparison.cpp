@@ -2,21 +2,21 @@
 /// random series-parallel task graph (the paper's Section IV-B setting).
 ///
 ///   ./example_mapper_comparison [--tasks N] [--seed S] [--milp-limit SEC]
+///                               [--generations N]
 ///
-/// Prints mapping quality (relative improvement over all-CPU), execution
-/// time of the mapper itself, and how many model evaluations it consumed.
+/// The algorithms are not hard-coded: the example walks the MapperRegistry,
+/// so any newly registered mapper shows up here automatically. Prints
+/// mapping quality (relative improvement over all-CPU), execution time of
+/// the mapper itself, and how many model evaluations it consumed.
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
-#include "mappers/cpu_only.hpp"
-#include "mappers/decomposition.hpp"
-#include "mappers/heft.hpp"
-#include "mappers/milp_mappers.hpp"
-#include "mappers/nsga2.hpp"
-#include "mappers/peft.hpp"
+#include "mappers/registry.hpp"
+#include "model/platform.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -24,10 +24,12 @@
 using namespace spmap;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv, {"tasks", "seed", "milp-limit"});
+  const Flags flags(argc, argv,
+                    {"tasks", "seed", "milp-limit", "generations"});
   const auto n = static_cast<std::size_t>(flags.get_int("tasks", 20));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
   const double milp_limit = flags.get_double("milp-limit", 5.0);
+  const auto generations = flags.get_int("generations", 100);
 
   Rng rng(seed);
   const Dag dag = generate_sp_dag(n, rng);
@@ -41,23 +43,22 @@ int main(int argc, char** argv) {
               dag.node_count(), dag.edge_count());
   std::printf("all-CPU baseline makespan: %.2f ms\n\n", baseline * 1e3);
 
-  MilpMapperParams milp;
-  milp.time_limit_s = milp_limit;
-  Nsga2Params ga;
-  ga.generations = 100;
-
+  // Walk the registry; tune the expensive algorithms down to example scale
+  // through their declared options (the registry rejects unknown keys).
+  const MapperRegistry& registry = MapperRegistry::instance();
   std::vector<std::unique_ptr<Mapper>> mappers;
-  mappers.push_back(std::make_unique<CpuOnlyMapper>());
-  mappers.push_back(std::make_unique<HeftMapper>());
-  mappers.push_back(std::make_unique<PeftMapper>());
-  mappers.push_back(std::make_unique<WgdpDeviceMapper>(milp));
-  mappers.push_back(std::make_unique<WgdpTimeMapper>(milp));
-  mappers.push_back(std::make_unique<ZhouLiuMapper>(milp));
-  mappers.push_back(std::make_unique<Nsga2Mapper>(ga));
-  mappers.push_back(make_single_node_mapper(dag, false));
-  mappers.push_back(make_single_node_mapper(dag, true));
-  mappers.push_back(make_series_parallel_mapper(dag, rng, false));
-  mappers.push_back(make_series_parallel_mapper(dag, rng, true));
+  for (const std::string& name : registry.names()) {
+    const MapperEntry& entry = registry.at(name);
+    std::string spec = name;
+    if (entry.supports_option("time-limit")) {
+      char opts[48];
+      std::snprintf(opts, sizeof(opts), ":time-limit=%g", milp_limit);
+      spec += opts;
+    } else if (entry.supports_option("generations")) {
+      spec += ":generations=" + std::to_string(generations);
+    }
+    mappers.push_back(registry.create(spec, dag, rng));
+  }
 
   Table table({"mapper", "improvement", "mapper time", "evaluations"});
   for (const auto& mapper : mappers) {

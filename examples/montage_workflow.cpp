@@ -11,10 +11,10 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
+#include <vector>
 
-#include "mappers/decomposition.hpp"
-#include "mappers/heft.hpp"
-#include "mappers/peft.hpp"
+#include "mappers/registry.hpp"
 #include "util/flags.hpp"
 #include "workflows/workflows.hpp"
 
@@ -36,13 +36,13 @@ int main(int argc, char** argv) {
               inst.name.c_str(), inst.dag.node_count(),
               inst.dag.edge_count(), baseline * 1e3);
 
-  HeftMapper heft;
-  PeftMapper peft;
-  auto sn = make_single_node_mapper(inst.dag, true);
-  auto sp = make_series_parallel_mapper(inst.dag, rng, true);
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  for (const char* name : {"heft", "peft", "snff", "spff"}) {
+    mappers.push_back(
+        MapperRegistry::instance().create(name, inst.dag, rng));
+  }
 
-  for (Mapper* mapper :
-       std::initializer_list<Mapper*>{&heft, &peft, sn.get(), sp.get()}) {
+  for (const auto& mapper : mappers) {
     const MapperResult r = mapper->map(eval);
     const double imp = (baseline - r.predicted_makespan) / baseline;
     std::printf("%-12s makespan %8.1f ms   improvement %5.1f %%\n",

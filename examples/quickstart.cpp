@@ -4,12 +4,12 @@
 ///   ./example_quickstart
 ///
 /// Walks through the full public API surface in ~60 lines: Dag + TaskAttrs
-/// -> Platform -> CostModel -> Evaluator -> Mapper.
+/// -> Platform -> CostModel -> Evaluator -> MapperRegistry -> Mapper.
 
 #include <cstdio>
 
 #include "graph/io.hpp"
-#include "mappers/decomposition.hpp"
+#include "mappers/registry.hpp"
 #include "model/platform.hpp"
 
 using namespace spmap;
@@ -47,9 +47,11 @@ int main() {
   const Evaluator eval(cost, {.random_orders = 100});
   const double baseline = eval.default_mapping_makespan();
 
-  // 5. Map with the series-parallel decomposition FirstFit heuristic.
+  // 5. Map with the series-parallel decomposition FirstFit heuristic,
+  //    picked by name from the MapperRegistry (see `spmap_cli
+  //    list-mappers` for everything that is available).
   Rng rng(42);
-  auto mapper = make_series_parallel_mapper(dag, rng, /*first_fit=*/true);
+  auto mapper = MapperRegistry::instance().create("spff", dag, rng);
   const MapperResult result = mapper->map(eval);
 
   std::printf("all-CPU baseline makespan : %8.2f ms\n", baseline * 1e3);

@@ -1,0 +1,26 @@
+#pragma once
+/// \file builtin_registrations.hpp
+/// Internal: per-implementation registration hooks for the MapperRegistry.
+///
+/// Each function is defined in the .cpp of the mapper(s) it registers, so
+/// the registration (names, descriptions, option handling) lives next to
+/// the algorithm. MapperRegistry::instance() calls all of them once; the
+/// explicit calls also guarantee the object files are linked in from the
+/// static library, which blanket self-registering globals would not.
+
+namespace spmap {
+
+class MapperRegistry;
+
+namespace detail {
+
+void register_cpu_only_mapper(MapperRegistry& registry);     // cpu_only.cpp
+void register_heft_mapper(MapperRegistry& registry);         // heft.cpp
+void register_lookahead_heft_mapper(MapperRegistry& r);      // lookahead_heft.cpp
+void register_peft_mapper(MapperRegistry& registry);         // peft.cpp
+void register_decomposition_mappers(MapperRegistry& r);      // decomposition.cpp
+void register_nsga2_mapper(MapperRegistry& registry);        // nsga2.cpp
+void register_milp_mappers(MapperRegistry& registry);        // milp_mappers.cpp
+
+}  // namespace detail
+}  // namespace spmap

@@ -1,5 +1,8 @@
 #include "mappers/cpu_only.hpp"
 
+#include "mappers/builtin_registrations.hpp"
+#include "mappers/registry.hpp"
+
 namespace spmap {
 
 MapperResult CpuOnlyMapper::map(const Evaluator& eval) {
@@ -9,6 +12,19 @@ MapperResult CpuOnlyMapper::map(const Evaluator& eval) {
   result.predicted_makespan = eval.evaluate(result.mapping);
   result.evaluations = eval.evaluation_count() - before;
   return result;
+}
+
+void detail::register_cpu_only_mapper(MapperRegistry& registry) {
+  MapperEntry entry;
+  entry.name = "cpu";
+  entry.display_name = "CpuOnly";
+  entry.description =
+      "All-CPU baseline: every task on the default device (the reference "
+      "point of the paper's relative-improvement metric)";
+  entry.factory = [](const MapperContext&) {
+    return std::make_unique<CpuOnlyMapper>();
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace spmap

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "mappers/builtin_registrations.hpp"
+#include "mappers/registry.hpp"
+#include "util/error.hpp"
 #include "util/indexed_heap.hpp"
 
 namespace spmap {
@@ -225,6 +228,123 @@ std::unique_ptr<DecompositionMapper> make_series_parallel_mapper(
   return std::make_unique<DecompositionMapper>(
       first_fit ? "SPFirstFit" : "SeriesParallel",
       series_parallel_subgraphs(dag, rng, policy), params);
+}
+
+namespace {
+
+CutPolicy cut_policy_option(const MapperOptions& options) {
+  const std::string value = options.get("cut", "random");
+  if (value == "random") return CutPolicy::Random;
+  if (value == "smallest") return CutPolicy::SmallestSubtree;
+  if (value == "largest") return CutPolicy::LargestSubtree;
+  if (value == "first") return CutPolicy::FirstActive;
+  throw Error("mapper option 'cut': expected random|smallest|largest|first, "
+              "got '" +
+              value + "'");
+}
+
+std::size_t max_iterations_option(const MapperOptions& options) {
+  const std::int64_t value = options.get_int("max-iterations", 0);
+  require(value >= 0, "mapper option 'max-iterations': must be >= 0");
+  return static_cast<std::size_t>(value);
+}
+
+double gamma_option(const MapperOptions& options) {
+  const double gamma = options.get_double("gamma", 1.0);
+  require(gamma >= 1.0, "mapper option 'gamma': must be >= 1 (1 = FirstFit)");
+  return gamma;
+}
+
+const MapperOptionInfo kMaxIterationsOption{
+    "max-iterations", "0",
+    "iteration cap; 0 derives ~one iteration per task"};
+const MapperOptionInfo kGammaOption{
+    "gamma", "1", "threshold look-ahead divisor; 1 = FirstFit"};
+const MapperOptionInfo kCutOption{
+    "cut", "random",
+    "Algorithm 1 branch-cut policy: random|smallest|largest|first"};
+
+}  // namespace
+
+void detail::register_decomposition_mappers(MapperRegistry& registry) {
+  {
+    MapperEntry entry;
+    entry.name = "sn";
+    entry.display_name = "SingleNode";
+    entry.description =
+        "Single-node decomposition mapping (Section III-B): exhaustive "
+        "greedy re-mapping of individual tasks, best improvement first";
+    entry.options = {kMaxIterationsOption};
+    entry.factory = [](const MapperContext& ctx) {
+      DecompositionParams params;
+      params.variant = DecompositionVariant::Basic;
+      params.max_iterations = max_iterations_option(ctx.options);
+      return std::make_unique<DecompositionMapper>(
+          "SingleNode", single_node_subgraphs(ctx.dag.node_count()), params);
+    };
+    registry.add(std::move(entry));
+  }
+  {
+    MapperEntry entry;
+    entry.name = "snff";
+    entry.display_name = "SNFirstFit";
+    entry.description =
+        "Single-node decomposition with the gamma-threshold heap "
+        "(Section III-D); gamma=1 is the paper's SNFirstFit";
+    entry.options = {kGammaOption, kMaxIterationsOption};
+    entry.factory = [](const MapperContext& ctx) {
+      DecompositionParams params;
+      params.variant = DecompositionVariant::Threshold;
+      params.gamma = gamma_option(ctx.options);
+      params.max_iterations = max_iterations_option(ctx.options);
+      return std::make_unique<DecompositionMapper>(
+          "SNFirstFit", single_node_subgraphs(ctx.dag.node_count()), params);
+    };
+    registry.add(std::move(entry));
+  }
+  {
+    MapperEntry entry;
+    entry.name = "sp";
+    entry.display_name = "SeriesParallel";
+    entry.description =
+        "Series-parallel decomposition mapping (Section III-C): greedy "
+        "re-mapping of whole SP subgraphs from the Algorithm 1 forest";
+    entry.needs_sp_decomposition = true;
+    entry.options = {kCutOption, kMaxIterationsOption};
+    entry.factory = [](const MapperContext& ctx) {
+      DecompositionParams params;
+      params.variant = DecompositionVariant::Basic;
+      params.max_iterations = max_iterations_option(ctx.options);
+      return std::make_unique<DecompositionMapper>(
+          "SeriesParallel",
+          series_parallel_subgraphs(ctx.dag, ctx.rng,
+                                    cut_policy_option(ctx.options)),
+          params);
+    };
+    registry.add(std::move(entry));
+  }
+  {
+    MapperEntry entry;
+    entry.name = "spff";
+    entry.display_name = "SPFirstFit";
+    entry.description =
+        "Series-parallel decomposition with the gamma-threshold heap; "
+        "gamma=1 is the paper's SPFirstFit flagship heuristic";
+    entry.needs_sp_decomposition = true;
+    entry.options = {kCutOption, kGammaOption, kMaxIterationsOption};
+    entry.factory = [](const MapperContext& ctx) {
+      DecompositionParams params;
+      params.variant = DecompositionVariant::Threshold;
+      params.gamma = gamma_option(ctx.options);
+      params.max_iterations = max_iterations_option(ctx.options);
+      return std::make_unique<DecompositionMapper>(
+          "SPFirstFit",
+          series_parallel_subgraphs(ctx.dag, ctx.rng,
+                                    cut_policy_option(ctx.options)),
+          params);
+    };
+    registry.add(std::move(entry));
+  }
 }
 
 }  // namespace spmap

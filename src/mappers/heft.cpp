@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "graph/algorithms.hpp"
+#include "mappers/builtin_registrations.hpp"
+#include "mappers/registry.hpp"
 #include "sched/timeline.hpp"
 
 namespace spmap {
@@ -104,6 +106,19 @@ MapperResult HeftMapper::map(const Evaluator& eval) {
   result.mapping = std::move(mapping);
   result.iterations = n;
   return result;
+}
+
+void detail::register_heft_mapper(MapperRegistry& registry) {
+  MapperEntry entry;
+  entry.name = "heft";
+  entry.display_name = "HEFT";
+  entry.description =
+      "Heterogeneous Earliest Finish Time list scheduler (Topcuoglu et "
+      "al.): upward-rank priority, insertion-based EFT device selection";
+  entry.factory = [](const MapperContext&) {
+    return std::make_unique<HeftMapper>();
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace spmap

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "mappers/builtin_registrations.hpp"
 #include "mappers/heft.hpp"
+#include "mappers/registry.hpp"
 #include "sched/timeline.hpp"
 
 namespace spmap {
@@ -166,6 +168,19 @@ MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
   result.mapping = std::move(state.mapping);
   result.iterations = n;
   return result;
+}
+
+void detail::register_lookahead_heft_mapper(MapperRegistry& registry) {
+  MapperEntry entry;
+  entry.name = "laheft";
+  entry.display_name = "LookaheadHEFT";
+  entry.description =
+      "HEFT with one level of lookahead (Bittencourt et al.): device choice "
+      "minimizes the worst child EFT instead of the task's own EFT";
+  entry.factory = [](const MapperContext&) {
+    return std::make_unique<LookaheadHeftMapper>();
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace spmap

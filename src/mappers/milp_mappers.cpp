@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "mappers/builtin_registrations.hpp"
+#include "mappers/registry.hpp"
+#include "util/error.hpp"
 
 namespace spmap {
 
@@ -324,6 +327,77 @@ MapperResult ZhouLiuMapper::map(const Evaluator& eval) {
   const MipResult mip = MipSolver(mp).solve(b.model, &warm);
   return finish(eval, *this, b, mip, last_status_, last_timed_out_,
                 last_nodes_);
+}
+
+namespace {
+
+MilpMapperParams milp_params_from_options(const MapperOptions& options) {
+  MilpMapperParams params;
+  params.time_limit_s = options.get_double("time-limit", params.time_limit_s);
+  require(params.time_limit_s > 0.0,
+          "mapper option 'time-limit': must be > 0 seconds");
+  const std::int64_t max_nodes = options.get_int(
+      "max-nodes", static_cast<std::int64_t>(params.max_nodes));
+  require(max_nodes > 0, "mapper option 'max-nodes': must be > 0");
+  params.max_nodes = static_cast<std::size_t>(max_nodes);
+  return params;
+}
+
+std::vector<MapperOptionInfo> milp_options() {
+  const MilpMapperParams defaults;
+  return {
+      {"time-limit", format_option_value(defaults.time_limit_s),
+       "solver time limit in seconds"},
+      {"max-nodes", std::to_string(defaults.max_nodes),
+       "branch-and-bound node cap"},
+  };
+}
+
+}  // namespace
+
+void detail::register_milp_mappers(MapperRegistry& registry) {
+  {
+    MapperEntry entry;
+    entry.name = "wgdp-dev";
+    entry.display_name = "WGDP-Dev";
+    entry.description =
+        "WGDP device-based MILP (Wilhelm et al.): minimizes the maximum "
+        "per-device load; fast but blind to transfers and the critical path";
+    entry.options = milp_options();
+    entry.factory = [](const MapperContext& ctx) {
+      return std::make_unique<WgdpDeviceMapper>(
+          milp_params_from_options(ctx.options));
+    };
+    registry.add(std::move(entry));
+  }
+  {
+    MapperEntry entry;
+    entry.name = "wgdp-time";
+    entry.display_name = "WGDP-Time";
+    entry.description =
+        "WGDP time-based MILP: big-M precedence constraints with transfer "
+        "costs and FPGA streaming discount; load-bound contention model";
+    entry.options = milp_options();
+    entry.factory = [](const MapperContext& ctx) {
+      return std::make_unique<WgdpTimeMapper>(
+          milp_params_from_options(ctx.options));
+    };
+    registry.add(std::move(entry));
+  }
+  {
+    MapperEntry entry;
+    entry.name = "zhouliu";
+    entry.display_name = "ZhouLiu";
+    entry.description =
+        "Zhou/Liu MILP: full disjunctive per-device ordering; near-optimal "
+        "on small graphs, times out quickly as the model explodes";
+    entry.options = milp_options();
+    entry.factory = [](const MapperContext& ctx) {
+      return std::make_unique<ZhouLiuMapper>(
+          milp_params_from_options(ctx.options));
+    };
+    registry.add(std::move(entry));
+  }
 }
 
 }  // namespace spmap

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "mappers/builtin_registrations.hpp"
+#include "mappers/registry.hpp"
+#include "util/error.hpp"
 
 namespace spmap {
 
@@ -128,6 +131,58 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
   result.iterations = params_.generations;
   result.evaluations = eval.evaluation_count() - evals_before;
   return result;
+}
+
+void detail::register_nsga2_mapper(MapperRegistry& registry) {
+  MapperEntry entry;
+  entry.name = "nsga";
+  entry.display_name = "NSGAII";
+  entry.description =
+      "Single-objective NSGA-II genetic algorithm (Section IV-A): "
+      "topological genome, elitist (mu+lambda) truncation selection";
+  const Nsga2Params defaults;
+  entry.options = {
+      {"generations", std::to_string(defaults.generations),
+       "number of generations"},
+      {"pop", std::to_string(defaults.population), "population size"},
+      {"crossover", format_option_value(defaults.crossover_rate),
+       "single-point crossover rate"},
+      {"mutation", format_option_value(defaults.mutation_rate),
+       "per-gene mutation rate; 0 derives the paper's 1/n"},
+      {"tournament", std::to_string(defaults.tournament),
+       "parent-selection tournament size"},
+      {"seed", "", "GA seed; unset draws from the construction rng"},
+  };
+  entry.factory = [](const MapperContext& ctx) {
+    Nsga2Params params;
+    const std::int64_t generations =
+        ctx.options.get_int("generations",
+                            static_cast<std::int64_t>(params.generations));
+    require(generations > 0, "mapper option 'generations': must be > 0");
+    params.generations = static_cast<std::size_t>(generations);
+    const std::int64_t pop = ctx.options.get_int(
+        "pop", static_cast<std::int64_t>(params.population));
+    require(pop >= 2, "mapper option 'pop': must be >= 2");
+    params.population = static_cast<std::size_t>(pop);
+    params.crossover_rate =
+        ctx.options.get_double("crossover", params.crossover_rate);
+    require(params.crossover_rate >= 0.0 && params.crossover_rate <= 1.0,
+            "mapper option 'crossover': must be in [0, 1]");
+    params.mutation_rate =
+        ctx.options.get_double("mutation", params.mutation_rate);
+    require(params.mutation_rate >= 0.0 && params.mutation_rate <= 1.0,
+            "mapper option 'mutation': must be in [0, 1] (0 derives 1/n)");
+    const std::int64_t tournament = ctx.options.get_int(
+        "tournament", static_cast<std::int64_t>(params.tournament));
+    require(tournament >= 1, "mapper option 'tournament': must be >= 1");
+    params.tournament = static_cast<std::size_t>(tournament);
+    params.seed = ctx.options.has("seed")
+                      ? static_cast<std::uint64_t>(
+                            ctx.options.get_int("seed", 0))
+                      : ctx.rng();
+    return std::make_unique<Nsga2Mapper>(params);
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace spmap

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "mappers/builtin_registrations.hpp"
+#include "mappers/registry.hpp"
 #include "sched/timeline.hpp"
 
 namespace spmap {
@@ -144,6 +146,19 @@ MapperResult PeftMapper::map(const Evaluator& eval) {
   result.mapping = std::move(mapping);
   result.iterations = n;
   return result;
+}
+
+void detail::register_peft_mapper(MapperRegistry& registry) {
+  MapperEntry entry;
+  entry.name = "peft";
+  entry.display_name = "PEFT";
+  entry.description =
+      "Predict Earliest Finish Time (Arabnejad/Barbosa): optimistic cost "
+      "table adds one step of global lookahead to HEFT's device choice";
+  entry.factory = [](const MapperContext&) {
+    return std::make_unique<PeftMapper>();
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace spmap

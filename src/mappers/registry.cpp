@@ -1,0 +1,209 @@
+#include "mappers/registry.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "mappers/builtin_registrations.hpp"
+#include "util/error.hpp"
+
+namespace spmap {
+
+namespace {
+
+std::string join(const std::vector<std::string>& items, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- MapperOptions ----
+
+MapperOptions MapperOptions::parse(const std::string& spec) {
+  MapperOptions options;
+  if (spec.empty()) return options;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos,
+            "mapper options: expected key=value, got '" + item + "' in '" +
+                spec + "'");
+    const std::string key = item.substr(0, eq);
+    require(!key.empty(),
+            "mapper options: empty key in '" + spec + "'");
+    const bool inserted =
+        options.values_.emplace(key, item.substr(eq + 1)).second;
+    require(inserted, "mapper options: duplicate key '" + key + "' in '" +
+                          spec + "'");
+  }
+  return options;
+}
+
+bool MapperOptions::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string MapperOptions::get(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t MapperOptions::get_int(const std::string& key,
+                                    std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  require(end != text && *end == '\0',
+          "mapper option '" + key + "': expected an integer, got '" +
+              it->second + "'");
+  return static_cast<std::int64_t>(value);
+}
+
+double MapperOptions::get_double(const std::string& key,
+                                 double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  require(end != text && *end == '\0',
+          "mapper option '" + key + "': expected a number, got '" +
+              it->second + "'");
+  return value;
+}
+
+bool MapperOptions::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw Error("mapper option '" + key + "': expected a boolean, got '" + v +
+              "'");
+}
+
+std::string MapperOptions::to_string() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) out += ',';
+    out += key + '=' + value;
+  }
+  return out;
+}
+
+std::string format_option_value(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+// ---- MapperEntry ----
+
+bool MapperEntry::supports_option(const std::string& key) const {
+  for (const MapperOptionInfo& info : options) {
+    if (info.key == key) return true;
+  }
+  return false;
+}
+
+void MapperEntry::validate_options(const MapperOptions& opts) const {
+  for (const auto& [key, value] : opts.values()) {
+    (void)value;
+    if (supports_option(key)) continue;
+    std::vector<std::string> accepted;
+    for (const MapperOptionInfo& info : options) accepted.push_back(info.key);
+    throw Error("mapper '" + name + "' does not accept option '" + key +
+                "'" +
+                (accepted.empty()
+                     ? " (it takes no options)"
+                     : " (accepted: " + join(accepted, ", ") + ")"));
+  }
+}
+
+std::string MapperEntry::default_spec() const {
+  std::string out;
+  for (const MapperOptionInfo& info : options) {
+    if (info.default_value.empty()) continue;
+    if (!out.empty()) out += ',';
+    out += info.key + '=' + info.default_value;
+  }
+  return out.empty() ? "-" : out;
+}
+
+// ---- MapperRegistry ----
+
+MapperRegistry& MapperRegistry::instance() {
+  static MapperRegistry* registry = [] {
+    auto* r = new MapperRegistry();
+    detail::register_cpu_only_mapper(*r);
+    detail::register_heft_mapper(*r);
+    detail::register_lookahead_heft_mapper(*r);
+    detail::register_peft_mapper(*r);
+    detail::register_decomposition_mappers(*r);
+    detail::register_nsga2_mapper(*r);
+    detail::register_milp_mappers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void MapperRegistry::add(MapperEntry entry) {
+  require(!entry.name.empty(), "MapperRegistry: empty mapper name");
+  require(static_cast<bool>(entry.factory),
+          "MapperRegistry: mapper '" + entry.name + "' has no factory");
+  require(index_.count(entry.name) == 0,
+          "MapperRegistry: duplicate mapper name '" + entry.name + "'");
+  index_.emplace(entry.name, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+bool MapperRegistry::contains(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+const MapperEntry& MapperRegistry::at(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw Error("unknown mapper: '" + name + "' (known mappers: " +
+                join(names(), ", ") + ")");
+  }
+  return entries_[it->second];
+}
+
+std::vector<std::string> MapperRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const MapperEntry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+std::pair<std::string, std::string> MapperRegistry::split_spec(
+    const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+std::unique_ptr<Mapper> MapperRegistry::create(const std::string& spec,
+                                               const Dag& dag,
+                                               Rng& rng) const {
+  const auto [name, option_spec] = split_spec(spec);
+  const MapperEntry& entry = at(name);
+  const MapperOptions options = MapperOptions::parse(option_spec);
+  entry.validate_options(options);
+  const MapperContext context{dag, rng, options};
+  std::unique_ptr<Mapper> mapper = entry.factory(context);
+  require(mapper != nullptr,
+          "MapperRegistry: factory of '" + name + "' returned null");
+  return mapper;
+}
+
+}  // namespace spmap

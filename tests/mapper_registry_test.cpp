@@ -1,0 +1,207 @@
+/// MapperRegistry coverage: every paper mapper resolvable by its CLI name,
+/// clear errors on unknown names/options, key=value parsing round-trips,
+/// and registry-built mappers matching directly constructed ones.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mappers/decomposition.hpp"
+#include "mappers/heft.hpp"
+#include "mappers/nsga2.hpp"
+#include "mappers/peft.hpp"
+#include "mappers/registry.hpp"
+#include "model/cost_model.hpp"
+#include "sched/evaluator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace spmap {
+namespace {
+
+// Names the paper's evaluation (and the CLI) exposes.
+const char* const kPaperMappers[] = {"cpu",  "heft",     "laheft",
+                                     "peft", "sn",       "snff",
+                                     "sp",   "spff",     "nsga",
+                                     "wgdp-dev", "wgdp-time", "zhouliu"};
+
+TEST(MapperRegistry, AllPaperMappersResolvable) {
+  const MapperRegistry& registry = MapperRegistry::instance();
+  Rng rng(1);
+  const Dag dag = generate_sp_dag(12, rng);
+  for (const char* name : kPaperMappers) {
+    ASSERT_TRUE(registry.contains(name)) << name;
+    const MapperEntry& entry = registry.at(name);
+    EXPECT_FALSE(entry.description.empty()) << name;
+    EXPECT_FALSE(entry.display_name.empty()) << name;
+    const auto mapper = registry.create(name, dag, rng);
+    ASSERT_NE(mapper, nullptr) << name;
+    EXPECT_EQ(mapper->name(), entry.display_name) << name;
+  }
+  EXPECT_GE(registry.size(), 10u);
+}
+
+TEST(MapperRegistry, NeedsSpDecompositionMetadata) {
+  const MapperRegistry& registry = MapperRegistry::instance();
+  EXPECT_TRUE(registry.at("sp").needs_sp_decomposition);
+  EXPECT_TRUE(registry.at("spff").needs_sp_decomposition);
+  EXPECT_FALSE(registry.at("sn").needs_sp_decomposition);
+  EXPECT_FALSE(registry.at("heft").needs_sp_decomposition);
+}
+
+TEST(MapperRegistry, UnknownNameThrowsWithKnownNames) {
+  Rng rng(1);
+  const Dag dag = testing::chain_dag(3);
+  try {
+    MapperRegistry::instance().create("definitely-not-a-mapper", dag, rng);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-not-a-mapper"), std::string::npos);
+    EXPECT_NE(what.find("spff"), std::string::npos)
+        << "error should list known mappers: " << what;
+  }
+}
+
+TEST(MapperRegistry, UnknownOptionKeyThrows) {
+  Rng rng(1);
+  const Dag dag = testing::chain_dag(3);
+  EXPECT_THROW(
+      MapperRegistry::instance().create("heft:generations=5", dag, rng),
+      Error);
+  try {
+    MapperRegistry::instance().create("nsga:wrong-key=1", dag, rng);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("wrong-key"), std::string::npos);
+    EXPECT_NE(what.find("generations"), std::string::npos)
+        << "error should list accepted keys: " << what;
+  }
+}
+
+TEST(MapperOptions, ParseAndTypedAccess) {
+  const auto options =
+      MapperOptions::parse("generations=50,pop=100,crossover=0.75,elitist=yes");
+  EXPECT_EQ(options.get_int("generations", 0), 50);
+  EXPECT_EQ(options.get_int("pop", 0), 100);
+  EXPECT_DOUBLE_EQ(options.get_double("crossover", 0.0), 0.75);
+  EXPECT_TRUE(options.get_bool("elitist", false));
+  EXPECT_FALSE(options.has("missing"));
+  EXPECT_EQ(options.get_int("missing", 7), 7);
+}
+
+TEST(MapperOptions, RoundTripsThroughToString) {
+  const auto options = MapperOptions::parse("b=2,a=1,c=x");
+  const std::string canonical = options.to_string();
+  EXPECT_EQ(canonical, "a=1,b=2,c=x");
+  EXPECT_EQ(MapperOptions::parse(canonical).values(), options.values());
+  EXPECT_EQ(MapperOptions::parse("").to_string(), "");
+}
+
+TEST(MapperOptions, BadValueDiagnostics) {
+  const auto options = MapperOptions::parse("generations=abc,rate=1.2.3,f=2");
+  try {
+    options.get_int("generations", 0);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("generations"), std::string::npos);
+    EXPECT_NE(what.find("abc"), std::string::npos);
+  }
+  EXPECT_THROW(options.get_double("rate", 0.0), Error);
+  EXPECT_THROW(options.get_bool("f", false), Error);
+}
+
+TEST(MapperOptions, MalformedSpecsThrow) {
+  EXPECT_THROW(MapperOptions::parse("novalue"), Error);
+  EXPECT_THROW(MapperOptions::parse("=5"), Error);
+  EXPECT_THROW(MapperOptions::parse("a=1,a=2"), Error);
+}
+
+TEST(MapperRegistry, SplitSpec) {
+  EXPECT_EQ(MapperRegistry::split_spec("spff").first, "spff");
+  EXPECT_EQ(MapperRegistry::split_spec("spff").second, "");
+  const auto [name, opts] =
+      MapperRegistry::split_spec("nsga:generations=50,pop=100");
+  EXPECT_EQ(name, "nsga");
+  EXPECT_EQ(opts, "generations=50,pop=100");
+}
+
+TEST(MapperRegistry, OptionsReachTheMapper) {
+  Rng rng(3);
+  const Dag dag = generate_sp_dag(10, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = testing::cpu_fpga_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+
+  // A 2-generation GA must consume far fewer evaluations than a
+  // 20-generation one — proof the option string reaches Nsga2Params.
+  Rng ra(7), rb(7);
+  auto short_ga = MapperRegistry::instance().create(
+      "nsga:generations=2,seed=11", dag, ra);
+  auto long_ga = MapperRegistry::instance().create(
+      "nsga:generations=20,seed=11", dag, rb);
+  const MapperResult short_result = short_ga->map(eval);
+  const MapperResult long_result = long_ga->map(eval);
+  EXPECT_EQ(short_result.iterations, 2u);
+  EXPECT_EQ(long_result.iterations, 20u);
+  EXPECT_LT(short_result.evaluations, long_result.evaluations);
+}
+
+/// Registry-built mappers must behave exactly like directly constructed
+/// ones on a small SP graph: same mapping, same predicted makespan.
+TEST(MapperRegistry, MatchesDirectConstruction) {
+  Rng rng(5);
+  const Dag dag = generate_sp_dag(14, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = testing::cpu_fpga_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+
+  const auto expect_same = [&](const char* spec, Mapper& direct,
+                               Rng direct_rng, Rng registry_rng) {
+    auto from_registry =
+        MapperRegistry::instance().create(spec, dag, registry_rng);
+    (void)direct_rng;
+    const MapperResult a = direct.map(eval);
+    const MapperResult b = from_registry->map(eval);
+    EXPECT_EQ(a.mapping.device, b.mapping.device) << spec;
+    EXPECT_DOUBLE_EQ(a.predicted_makespan, b.predicted_makespan) << spec;
+    EXPECT_EQ(direct.name(), from_registry->name()) << spec;
+  };
+
+  HeftMapper heft;
+  expect_same("heft", heft, Rng(9), Rng(9));
+
+  PeftMapper peft;
+  expect_same("peft", peft, Rng(9), Rng(9));
+
+  auto snff = make_single_node_mapper(dag, /*first_fit=*/true);
+  expect_same("snff", *snff, Rng(9), Rng(9));
+
+  // The SP mapper draws from the rng while decomposing, so direct and
+  // registry construction must start from identical rng state.
+  Rng direct_rng(13);
+  auto spff = make_series_parallel_mapper(dag, direct_rng, /*first_fit=*/true);
+  expect_same("spff", *spff, Rng(13), Rng(13));
+
+  Nsga2Params ga;
+  ga.generations = 5;
+  ga.seed = 77;
+  Nsga2Mapper nsga(ga);
+  expect_same("nsga:generations=5,seed=77", nsga, Rng(9), Rng(9));
+}
+
+TEST(MapperRegistry, DuplicateRegistrationThrows) {
+  MapperEntry entry;
+  entry.name = "spff";  // collides with the builtin
+  entry.display_name = "Dup";
+  entry.factory = [](const MapperContext&) -> std::unique_ptr<Mapper> {
+    return nullptr;
+  };
+  EXPECT_THROW(MapperRegistry::instance().add(std::move(entry)), Error);
+}
+
+}  // namespace
+}  // namespace spmap

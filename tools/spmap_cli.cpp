@@ -1,19 +1,27 @@
 /// spmap_cli — command-line driver for the spmap library.
 ///
 /// Subcommands:
-///   generate   Create a task graph (random SP / almost-SP / workflow) and
-///              write it as JSON.
-///   decompose  Print the series-parallel decomposition forest of a graph.
-///   map        Run a mapping algorithm and print mapping + makespan
-///              (+ optional Gantt chart / schedule JSON).
-///   evaluate   Evaluate an explicit mapping.
+///   generate      Create a task graph (random SP / almost-SP / workflow)
+///                 and write it as JSON.
+///   decompose     Print the series-parallel decomposition forest of a
+///                 graph.
+///   map           Run a mapping algorithm and print mapping + makespan
+///                 (+ optional Gantt chart / schedule JSON).
+///   evaluate      Evaluate an explicit mapping.
+///   list-mappers  Print the MapperRegistry: every algorithm with its
+///                 description and default (paper) parameters.
+///
+/// Mapping algorithms are resolved by name through the MapperRegistry;
+/// options ride along after a colon, e.g. `--mapper nsga:generations=50`.
 ///
 /// Examples:
 ///   spmap_cli generate --type sp --tasks 40 --seed 7 --out g.json
 ///   spmap_cli generate --type workflow --family montage --width 16 --out m.json
 ///   spmap_cli decompose --in g.json
 ///   spmap_cli map --in g.json --mapper spff --gantt
+///   spmap_cli map --in g.json --mapper nsga:generations=50,pop=100
 ///   spmap_cli evaluate --in g.json --mapping 0,0,1,2,0,...
+///   spmap_cli list-mappers
 
 #include <cstdio>
 #include <fstream>
@@ -23,16 +31,12 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
-#include "mappers/cpu_only.hpp"
-#include "mappers/decomposition.hpp"
-#include "mappers/heft.hpp"
-#include "mappers/lookahead_heft.hpp"
-#include "mappers/milp_mappers.hpp"
-#include "mappers/nsga2.hpp"
-#include "mappers/peft.hpp"
+#include "mappers/registry.hpp"
 #include "sched/schedule.hpp"
 #include "sp/decomposition_forest.hpp"
+#include "sp/subgraph_set.hpp"
 #include "util/flags.hpp"
+#include "util/table.hpp"
 #include "workflows/wfcommons.hpp"
 #include "workflows/workflows.hpp"
 
@@ -42,19 +46,21 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: spmap_cli <generate|import|decompose|map|evaluate> "
+               "usage: spmap_cli "
+               "<generate|import|decompose|map|evaluate|list-mappers> "
                "[flags]\n"
-               "  import    --wf FILE [--seed S] [--out FILE]   "
+               "  import       --wf FILE [--seed S] [--out FILE]   "
                "(WfCommons wfformat -> spmap JSON)\n"
-               "  generate  --type sp|almost-sp|workflow --tasks N "
+               "  generate     --type sp|almost-sp|workflow --tasks N "
                "[--extra-edges K] [--family NAME --width W] [--seed S] "
                "[--out FILE]\n"
-               "  decompose --in FILE [--seed S] [--dot]\n"
-               "  map       --in FILE --mapper cpu|heft|laheft|peft|sn|snff|"
-               "sp|spff|nsga|wgdp-dev|wgdp-time|zhouliu [--seed S] "
-               "[--gantt] [--schedule-json] [--random-orders N]\n"
-               "  evaluate  --in FILE --mapping 0,1,2,... "
-               "[--random-orders N]\n");
+               "  decompose    --in FILE [--seed S] [--dot]\n"
+               "  map          --in FILE --mapper NAME[:key=value,...] "
+               "[--seed S] [--gantt] [--schedule-json] [--random-orders N]\n"
+               "  evaluate     --in FILE --mapping 0,1,2,... "
+               "[--random-orders N]\n"
+               "  list-mappers [--verbose]   (all registered algorithm "
+               "names, descriptions, default parameters)\n");
   return 2;
 }
 
@@ -150,21 +156,32 @@ int cmd_decompose(int argc, char** argv) {
   return 0;
 }
 
-std::unique_ptr<Mapper> mapper_by_name(const std::string& name,
-                                       const Dag& dag, Rng& rng) {
-  if (name == "cpu") return std::make_unique<CpuOnlyMapper>();
-  if (name == "heft") return std::make_unique<HeftMapper>();
-  if (name == "laheft") return std::make_unique<LookaheadHeftMapper>();
-  if (name == "peft") return std::make_unique<PeftMapper>();
-  if (name == "sn") return make_single_node_mapper(dag, false);
-  if (name == "snff") return make_single_node_mapper(dag, true);
-  if (name == "sp") return make_series_parallel_mapper(dag, rng, false);
-  if (name == "spff") return make_series_parallel_mapper(dag, rng, true);
-  if (name == "nsga") return std::make_unique<Nsga2Mapper>();
-  if (name == "wgdp-dev") return std::make_unique<WgdpDeviceMapper>();
-  if (name == "wgdp-time") return std::make_unique<WgdpTimeMapper>();
-  if (name == "zhouliu") return std::make_unique<ZhouLiuMapper>();
-  throw Error("unknown mapper: " + name);
+int cmd_list_mappers(int argc, char** argv) {
+  const Flags flags(argc, argv, {"verbose"});
+  const MapperRegistry& registry = MapperRegistry::instance();
+  Table table({"name", "algorithm", "sp-decomp", "defaults", "description"});
+  for (const std::string& name : registry.names()) {
+    const MapperEntry& entry = registry.at(name);
+    table.add_row({entry.name, entry.display_name,
+                   entry.needs_sp_decomposition ? "yes" : "no",
+                   entry.default_spec(), entry.description});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  if (flags.get_bool("verbose", false)) {
+    std::printf("\nper-mapper options (--mapper name:key=value,...):\n");
+    for (const std::string& name : registry.names()) {
+      const MapperEntry& entry = registry.at(name);
+      if (entry.options.empty()) continue;
+      std::printf("  %s:\n", entry.name.c_str());
+      for (const MapperOptionInfo& opt : entry.options) {
+        std::printf("    %-14s default=%-8s %s\n", opt.key.c_str(),
+                    opt.default_value.empty() ? "-"
+                                              : opt.default_value.c_str(),
+                    opt.description.c_str());
+      }
+    }
+  }
+  return 0;
 }
 
 int cmd_map(int argc, char** argv) {
@@ -179,7 +196,8 @@ int cmd_map(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("random-orders", 100));
   const Evaluator eval(cost, {.random_orders = orders});
 
-  auto mapper = mapper_by_name(flags.get("mapper", "spff"), tg.dag, rng);
+  auto mapper = MapperRegistry::instance().create(flags.get("mapper", "spff"),
+                                                  tg.dag, rng);
   const MapperResult r = mapper->map(eval);
   const double baseline = eval.default_mapping_makespan();
   std::printf("mapper=%s makespan=%.6f baseline=%.6f improvement=%.2f%%\n",
@@ -242,6 +260,7 @@ int main(int argc, char** argv) {
     if (cmd == "decompose") return cmd_decompose(argc - 1, argv + 1);
     if (cmd == "map") return cmd_map(argc - 1, argv + 1);
     if (cmd == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
+    if (cmd == "list-mappers") return cmd_list_mappers(argc - 1, argv + 1);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "spmap_cli: %s\n", ex.what());
     return 1;
