@@ -10,9 +10,11 @@
 #include "graph/generators.hpp"
 #include "model/platform.hpp"
 #include "sched/evaluator.hpp"
+#include "sched/reference_evaluator.hpp"
 #include "sp/decomposition_forest.hpp"
 #include "sp/subgraph_set.hpp"
 #include "util/indexed_heap.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -83,6 +85,60 @@ void BM_EvaluateMakespan(benchmark::State& state) {
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EvaluateMakespan)->Range(16, 4096)->Complexity(benchmark::oN);
+
+void BM_EvaluateMakespanReference(benchmark::State& state) {
+  // The retained naive evaluation path — the flat core's baseline.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Dag dag = generate_sp_dag(n, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = reference_platform();
+  const CostModel cost(dag, attrs, platform);
+  ReferenceEvaluator eval(cost);
+  Mapping mapping(n, DeviceId(0u));
+  for (std::size_t i = 0; i < n; i += 4) {
+    mapping.device[i] = DeviceId(1u);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(mapping));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EvaluateMakespanReference)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_EvaluateBatch(benchmark::State& state) {
+  // args: nodes, worker threads. Batch of 64 candidate mappings per call —
+  // the shape of one NSGA-II generation or a decomposition frontier chunk.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  Rng rng(11);
+  const Dag dag = generate_sp_dag(n, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = reference_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+  std::vector<Mapping> batch;
+  batch.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(random_feasible_mapping(cost, rng));
+  }
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate_batch(batch, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EvaluateBatch)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({4096, 1})
+    ->Args({4096, 4});
 
 void BM_IndexedHeapChurn(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,208 @@
+/// perf_report — machine-readable performance trajectory of the evaluation
+/// core.
+///
+/// Runs the core makespan-evaluation benchmarks (serial flat path, naive
+/// reference path, parallel batch path) without depending on
+/// google-benchmark and writes the results as JSON (default:
+/// BENCH_eval.json), so every revision can append a comparable data point
+/// to the repository's performance history.
+///
+/// Flags:
+///   --out=PATH    output file (default BENCH_eval.json)
+///   --smoke       tiny sizes / short timings: a CI compile-and-run gate,
+///                 not a measurement
+///   --seed=N      graph/attribute seed (default 8, the micro-bench seed)
+///
+/// JSON schema (`"schema": "spmap-bench-eval/1"`), all times in
+/// nanoseconds per single-schedule evaluation:
+///   {
+///     "schema": "spmap-bench-eval/1",
+///     "smoke": false,
+///     "seed": 8,
+///     "hardware_threads": <std::thread::hardware_concurrency()>,
+///     "results": [
+///       {"name": "evaluate", "nodes": N, "edges": E,
+///        "ns_per_eval": ..., "evals_per_sec": ...},
+///       {"name": "evaluate_reference", "nodes": N, "edges": E,
+///        "ns_per_eval": ...},             // retained naive baseline
+///       {"name": "flat_speedup", "nodes": N,
+///        "speedup": reference / flat},    // the PR-over-PR headline
+///       {"name": "evaluate_batch", "nodes": N, "batch": B, "threads": T,
+///        "ns_per_eval": ..., "speedup_vs_serial": ...,
+///        "bit_identical_to_serial": true} // must always be true
+///     ]
+///   }
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "model/platform.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/reference_evaluator.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spmap;
+
+/// One benchmark case: graph + model + the scattered mapping of the
+/// micro-benchmarks (every 4th task on the GPU).
+struct Case {
+  Dag dag;
+  TaskAttrs attrs;
+  Platform platform;
+  Mapping mapping;
+
+  explicit Case(std::size_t n, std::uint64_t seed)
+      : platform(reference_platform()) {
+    Rng rng(seed);
+    dag = generate_sp_dag(n, rng);
+    attrs = random_task_attrs(dag, rng);
+    mapping = Mapping(n, DeviceId(0u));
+    for (std::size_t i = 0; i < n; i += 4) mapping.device[i] = DeviceId(1u);
+  }
+};
+
+/// Calls `fn()` repeatedly for at least `min_seconds` (after one warm-up
+/// call) and returns the mean seconds per call.
+template <typename Fn>
+double time_per_call(double min_seconds, Fn&& fn) {
+  fn();  // warm-up
+  std::size_t iterations = 0;
+  WallTimer timer;
+  do {
+    fn();
+    ++iterations;
+  } while (timer.seconds() < min_seconds);
+  return timer.seconds() / static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"out", "smoke", "seed"});
+  const bool smoke = flags.get_bool("smoke", false);
+  const std::string out_path = flags.get("out", "BENCH_eval.json");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 8));
+  const double min_seconds = smoke ? 0.005 : 0.25;
+  const std::vector<std::int64_t> sizes =
+      smoke ? std::vector<std::int64_t>{64, 256}
+            : std::vector<std::int64_t>{256, 1024, 4096};
+  const std::size_t batch_size = smoke ? 16 : 100;
+  const std::size_t batch_nodes = smoke ? 256 : 1024;
+
+  Json results = Json::array();
+
+  // ---- serial flat path vs retained naive reference ----
+  for (const std::int64_t size : sizes) {
+    const auto n = static_cast<std::size_t>(size);
+    Case c(n, seed);
+    const CostModel cost(c.dag, c.attrs, c.platform);
+    const Evaluator eval(cost);
+    ReferenceEvaluator reference(cost);
+
+    volatile double sink = 0.0;
+    const double flat_s = time_per_call(
+        min_seconds, [&] { sink = sink + eval.evaluate(c.mapping); });
+    const double ref_s = time_per_call(
+        min_seconds, [&] { sink = sink + reference.evaluate(c.mapping); });
+
+    Json flat = Json::object();
+    flat.set("name", "evaluate");
+    flat.set("nodes", n);
+    flat.set("edges", c.dag.edge_count());
+    flat.set("ns_per_eval", flat_s * 1e9);
+    flat.set("evals_per_sec", 1.0 / flat_s);
+    results.push_back(std::move(flat));
+
+    Json ref = Json::object();
+    ref.set("name", "evaluate_reference");
+    ref.set("nodes", n);
+    ref.set("edges", c.dag.edge_count());
+    ref.set("ns_per_eval", ref_s * 1e9);
+    results.push_back(std::move(ref));
+
+    Json speedup = Json::object();
+    speedup.set("name", "flat_speedup");
+    speedup.set("nodes", n);
+    speedup.set("speedup", ref_s / flat_s);
+    results.push_back(std::move(speedup));
+
+    std::printf("evaluate        n=%-5zu %10.0f ns  (reference %10.0f ns, "
+                "speedup %.2fx)\n",
+                n, flat_s * 1e9, ref_s * 1e9, ref_s / flat_s);
+  }
+
+  // ---- parallel batch path ----
+  {
+    Case c(batch_nodes, seed);
+    const CostModel cost(c.dag, c.attrs, c.platform);
+    const Evaluator eval(cost);
+    Rng rng(seed + 3);
+    std::vector<Mapping> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(random_feasible_mapping(cost, rng));
+    }
+    const std::vector<double> serial = eval.evaluate_batch(batch);
+
+    double serial_s = 0.0;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      ThreadPool pool(threads);
+      const std::vector<double> parallel = eval.evaluate_batch(batch, &pool);
+      const bool identical = parallel == serial;  // bitwise double compare
+      volatile std::size_t sink = 0;
+      const double batch_s = time_per_call(min_seconds, [&] {
+        sink = sink + eval.evaluate_batch(batch, &pool).size();
+      });
+      const double per_eval_s = batch_s / static_cast<double>(batch_size);
+      if (threads == 1) serial_s = per_eval_s;
+
+      Json entry = Json::object();
+      entry.set("name", "evaluate_batch");
+      entry.set("nodes", batch_nodes);
+      entry.set("batch", batch_size);
+      entry.set("threads", threads);
+      entry.set("ns_per_eval", per_eval_s * 1e9);
+      entry.set("speedup_vs_serial", serial_s / per_eval_s);
+      entry.set("bit_identical_to_serial", identical);
+      results.push_back(std::move(entry));
+
+      std::printf("evaluate_batch  n=%-5zu threads=%zu %10.0f ns/eval  "
+                  "(x%.2f vs serial, bit-identical=%s)\n",
+                  batch_nodes, threads, per_eval_s * 1e9,
+                  serial_s / per_eval_s, identical ? "yes" : "NO");
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: batch results differ from the serial path at "
+                     "threads=%zu\n",
+                     threads);
+        return 1;
+      }
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("schema", "spmap-bench-eval/1");
+  doc.set("smoke", smoke);
+  doc.set("seed", seed);
+  doc.set("hardware_threads",
+          static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  doc.set("results", std::move(results));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "graph/flat_graph.hpp"
+
+namespace spmap {
+
+FlatGraph::FlatGraph(const Dag& dag) : node_count_(dag.node_count()) {
+  const std::size_t n = dag.node_count();
+  const std::size_t e = dag.edge_count();
+  in_offset_.resize(n + 1, 0);
+  out_offset_.resize(n + 1, 0);
+  in_src_.reserve(e);
+  in_data_mb_.reserve(e);
+  in_edge_.reserve(e);
+  out_dst_.reserve(e);
+  out_data_mb_.reserve(e);
+  out_edge_.reserve(e);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v(i);
+    for (const EdgeId edge : dag.in_edges(v)) {
+      in_src_.push_back(dag.src(edge).v);
+      in_data_mb_.push_back(dag.data_mb(edge));
+      in_edge_.push_back(edge.v);
+    }
+    in_offset_[i + 1] = static_cast<std::uint32_t>(in_src_.size());
+    for (const EdgeId edge : dag.out_edges(v)) {
+      out_dst_.push_back(dag.dst(edge).v);
+      out_data_mb_.push_back(dag.data_mb(edge));
+      out_edge_.push_back(edge.v);
+    }
+    out_offset_[i + 1] = static_cast<std::uint32_t>(out_dst_.size());
+  }
+}
+
+}  // namespace spmap

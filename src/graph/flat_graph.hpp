@@ -1,0 +1,74 @@
+#pragma once
+/// \file flat_graph.hpp
+/// Flat CSR (compressed sparse row) view of a Dag.
+///
+/// `Dag` keeps adjacency as nested `vector<vector<EdgeId>>`, which is
+/// convenient to build but costs two pointer chases plus an edge-record
+/// lookup per adjacency step. Hot paths that walk the whole graph thousands
+/// of times (the evaluator, rank computations) want the adjacency, endpoint
+/// and payload data in contiguous index arrays instead. `FlatGraph` is that
+/// view: built once from a Dag, immutable afterwards, sharing nothing with
+/// the source graph.
+///
+/// Layout: for each node `v`, its in-edges occupy the contiguous span
+/// `[in_offset[v], in_offset[v+1])` of the `in_*` arrays (and likewise for
+/// out-edges). Spans preserve the Dag's adjacency order, so any algorithm
+/// that folds over `dag.in_edges(v)` left to right produces bit-identical
+/// results when folding over the flat span instead.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace spmap {
+
+class FlatGraph {
+ public:
+  FlatGraph() = default;
+  /// Builds the CSR arrays from `dag` (O(V + E)); no reference is retained.
+  explicit FlatGraph(const Dag& dag);
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t edge_count() const { return in_src_.size(); }
+
+  // ---- in-edge CSR (indexed by the node's in-span) ----
+
+  /// First in-edge slot of node `v`; `in_end(v)` is one past the last.
+  std::uint32_t in_begin(NodeId v) const { return in_offset_[v.v]; }
+  std::uint32_t in_end(NodeId v) const { return in_offset_[v.v + 1]; }
+  /// Producer node of in-edge slot `k`.
+  std::uint32_t in_src(std::uint32_t k) const { return in_src_[k]; }
+  /// Payload of in-edge slot `k` (MB).
+  double in_data_mb(std::uint32_t k) const { return in_data_mb_[k]; }
+  /// Dag edge id of in-edge slot `k`.
+  EdgeId in_edge(std::uint32_t k) const { return EdgeId(in_edge_[k]); }
+
+  // ---- out-edge CSR ----
+
+  std::uint32_t out_begin(NodeId v) const { return out_offset_[v.v]; }
+  std::uint32_t out_end(NodeId v) const { return out_offset_[v.v + 1]; }
+  /// Consumer node of out-edge slot `k`.
+  std::uint32_t out_dst(std::uint32_t k) const { return out_dst_[k]; }
+  double out_data_mb(std::uint32_t k) const { return out_data_mb_[k]; }
+  EdgeId out_edge(std::uint32_t k) const { return EdgeId(out_edge_[k]); }
+
+  // ---- raw arrays (for tight loops that index directly) ----
+
+  const std::uint32_t* in_offset_data() const { return in_offset_.data(); }
+  const std::uint32_t* in_src_data() const { return in_src_.data(); }
+  const double* in_data_mb_data() const { return in_data_mb_.data(); }
+
+ private:
+  std::size_t node_count_ = 0;
+  std::vector<std::uint32_t> in_offset_;   // node_count + 1
+  std::vector<std::uint32_t> in_src_;      // edge_count
+  std::vector<double> in_data_mb_;         // edge_count
+  std::vector<std::uint32_t> in_edge_;     // edge_count
+  std::vector<std::uint32_t> out_offset_;  // node_count + 1
+  std::vector<std::uint32_t> out_dst_;     // edge_count
+  std::vector<double> out_data_mb_;        // edge_count
+  std::vector<std::uint32_t> out_edge_;    // edge_count
+};
+
+}  // namespace spmap

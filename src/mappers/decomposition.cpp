@@ -1,17 +1,23 @@
 #include "mappers/decomposition.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "mappers/builtin_registrations.hpp"
 #include "mappers/registry.hpp"
 #include "util/error.hpp"
 #include "util/indexed_heap.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spmap {
 
 namespace {
 
 constexpr double kTiny = 1e-15;
+
+/// Candidate mappings materialized per evaluate_batch call. Bounds the
+/// memory of a full-frontier sweep to kBatchChunk * node_count devices.
+constexpr std::size_t kBatchChunk = 512;
 
 /// One mapping operation: move all nodes of a subgraph onto one device.
 struct OpTable {
@@ -59,6 +65,39 @@ struct OpTable {
   }
 };
 
+/// Runs `consume(op, makespan)` for every non-noop operation in ascending
+/// op order, with the makespans computed through Evaluator::evaluate_batch
+/// in chunks (parallel across `pool`'s workers). The ascending consume
+/// order makes the caller's running-best selection identical to the serial
+/// apply/evaluate/revert loop; the batch itself is bit-identical for every
+/// thread count.
+template <typename Consume>
+void sweep_frontier(const OpTable& ops, const Mapping& mapping,
+                    const Evaluator& eval, ThreadPool* pool,
+                    Consume&& consume) {
+  std::vector<std::size_t> op_of;
+  std::vector<Mapping> candidates;
+  op_of.reserve(kBatchChunk);
+  candidates.reserve(kBatchChunk);
+  auto flush = [&]() {
+    const std::vector<double> makespans =
+        eval.evaluate_batch(candidates, pool);
+    for (std::size_t i = 0; i < makespans.size(); ++i) {
+      consume(op_of[i], makespans[i]);
+    }
+    op_of.clear();
+    candidates.clear();
+  };
+  for (std::size_t op = 0; op < ops.count(); ++op) {
+    if (ops.is_noop(op, mapping)) continue;
+    candidates.push_back(mapping);
+    ops.apply(op, candidates.back());
+    op_of.push_back(op);
+    if (candidates.size() == kBatchChunk) flush();
+  }
+  if (!candidates.empty()) flush();
+}
+
 }  // namespace
 
 DecompositionMapper::DecompositionMapper(std::string name,
@@ -82,6 +121,11 @@ MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
   const auto objective = [&](const Mapping& m) {
     return params_.objective ? params_.objective(eval, m) : eval.evaluate(m);
   };
+  // A custom objective cannot go through the makespan batch API.
+  std::unique_ptr<ThreadPool> pool;
+  if (params_.threads > 1 && !params_.objective) {
+    pool = std::make_unique<ThreadPool>(params_.threads);
+  }
 
   Mapping mapping = eval.default_mapping();
   double current = objective(mapping);
@@ -94,14 +138,21 @@ MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
   while (iterations < cap) {
     std::size_t best_op = ops.count();
     double best_makespan = current;
-    for (std::size_t op = 0; op < ops.count(); ++op) {
-      if (ops.is_noop(op, mapping)) continue;
-      ops.apply_with_undo(op, mapping, undo);
-      const double ms = objective(mapping);
-      ops.revert(op, mapping, undo);
+    auto keep_best = [&](std::size_t op, double ms) {
       if (ms < best_makespan - kTiny) {
         best_makespan = ms;
         best_op = op;
+      }
+    };
+    if (pool) {
+      sweep_frontier(ops, mapping, eval, pool.get(), keep_best);
+    } else {
+      for (std::size_t op = 0; op < ops.count(); ++op) {
+        if (ops.is_noop(op, mapping)) continue;
+        ops.apply_with_undo(op, mapping, undo);
+        const double ms = objective(mapping);
+        ops.revert(op, mapping, undo);
+        keep_best(op, ms);
       }
     }
     if (best_op == ops.count()) break;  // no improving operation left
@@ -125,6 +176,13 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
   const auto objective = [&](const Mapping& m) {
     return params_.objective ? params_.objective(eval, m) : eval.evaluate(m);
   };
+  // A custom objective cannot go through the makespan batch API. The
+  // heap-guided inner scan is inherently sequential; only the full-frontier
+  // sweeps (initial fill, verification) batch.
+  std::unique_ptr<ThreadPool> pool;
+  if (params_.threads > 1 && !params_.objective) {
+    pool = std::make_unique<ThreadPool>(params_.threads);
+  }
 
   Mapping mapping = eval.default_mapping();
   double current = objective(mapping);
@@ -139,12 +197,31 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
     return current - ms;  // > 0 == improvement
   };
 
+  // Improvement of every operation against the current mapping at once
+  // (noops fixed at -inf, like recompute). Calls consume(op, improvement)
+  // in ascending op order.
+  auto recompute_all = [&](auto&& consume) {
+    if (pool) {
+      std::vector<double> improvement(ops.count(), -kInfeasible);
+      sweep_frontier(ops, mapping, eval, pool.get(),
+                     [&](std::size_t op, double ms) {
+                       improvement[op] = current - ms;
+                     });
+      for (std::size_t op = 0; op < ops.count(); ++op) {
+        consume(op, improvement[op]);
+      }
+    } else {
+      for (std::size_t op = 0; op < ops.count(); ++op) {
+        consume(op, recompute(op));
+      }
+    }
+  };
+
   // First iteration: evaluate every operation once and fill the priority
   // queue with the expected improvements (Section III-D).
   IndexedMaxHeap heap(ops.count());
-  for (std::size_t op = 0; op < ops.count(); ++op) {
-    heap.push_or_update(op, recompute(op));
-  }
+  recompute_all(
+      [&](std::size_t op, double imp) { heap.push_or_update(op, imp); });
 
   const std::size_t cap = params_.max_iterations
                               ? params_.max_iterations
@@ -182,14 +259,13 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
     if (best_op == ops.count()) {
       // Verification sweep (paper: "in the last iteration, we recompute
       // every possible mapping"): expectations may be stale underestimates.
-      for (std::size_t op = 0; op < ops.count(); ++op) {
-        const double imp = recompute(op);
+      recompute_all([&](std::size_t op, double imp) {
         heap.push_or_update(op, imp);
         if (imp > best_imp + kTiny) {
           best_imp = imp;
           best_op = op;
         }
-      }
+      });
       if (best_op == ops.count()) break;  // verified: no improvement left
     }
 
@@ -263,6 +339,9 @@ const MapperOptionInfo kGammaOption{
 const MapperOptionInfo kCutOption{
     "cut", "random",
     "Algorithm 1 branch-cut policy: random|smallest|largest|first"};
+const MapperOptionInfo kThreadsOption{
+    "threads", "1",
+    "candidate-sweep worker threads (results thread-count invariant)"};
 
 }  // namespace
 
@@ -274,11 +353,12 @@ void detail::register_decomposition_mappers(MapperRegistry& registry) {
     entry.description =
         "Single-node decomposition mapping (Section III-B): exhaustive "
         "greedy re-mapping of individual tasks, best improvement first";
-    entry.options = {kMaxIterationsOption};
+    entry.options = {kMaxIterationsOption, kThreadsOption};
     entry.factory = [](const MapperContext& ctx) {
       DecompositionParams params;
       params.variant = DecompositionVariant::Basic;
       params.max_iterations = max_iterations_option(ctx.options);
+      params.threads = threads_option(ctx.options);
       return std::make_unique<DecompositionMapper>(
           "SingleNode", single_node_subgraphs(ctx.dag.node_count()), params);
     };
@@ -291,12 +371,13 @@ void detail::register_decomposition_mappers(MapperRegistry& registry) {
     entry.description =
         "Single-node decomposition with the gamma-threshold heap "
         "(Section III-D); gamma=1 is the paper's SNFirstFit";
-    entry.options = {kGammaOption, kMaxIterationsOption};
+    entry.options = {kGammaOption, kMaxIterationsOption, kThreadsOption};
     entry.factory = [](const MapperContext& ctx) {
       DecompositionParams params;
       params.variant = DecompositionVariant::Threshold;
       params.gamma = gamma_option(ctx.options);
       params.max_iterations = max_iterations_option(ctx.options);
+      params.threads = threads_option(ctx.options);
       return std::make_unique<DecompositionMapper>(
           "SNFirstFit", single_node_subgraphs(ctx.dag.node_count()), params);
     };
@@ -310,11 +391,12 @@ void detail::register_decomposition_mappers(MapperRegistry& registry) {
         "Series-parallel decomposition mapping (Section III-C): greedy "
         "re-mapping of whole SP subgraphs from the Algorithm 1 forest";
     entry.needs_sp_decomposition = true;
-    entry.options = {kCutOption, kMaxIterationsOption};
+    entry.options = {kCutOption, kMaxIterationsOption, kThreadsOption};
     entry.factory = [](const MapperContext& ctx) {
       DecompositionParams params;
       params.variant = DecompositionVariant::Basic;
       params.max_iterations = max_iterations_option(ctx.options);
+      params.threads = threads_option(ctx.options);
       return std::make_unique<DecompositionMapper>(
           "SeriesParallel",
           series_parallel_subgraphs(ctx.dag, ctx.rng,
@@ -331,12 +413,14 @@ void detail::register_decomposition_mappers(MapperRegistry& registry) {
         "Series-parallel decomposition with the gamma-threshold heap; "
         "gamma=1 is the paper's SPFirstFit flagship heuristic";
     entry.needs_sp_decomposition = true;
-    entry.options = {kCutOption, kGammaOption, kMaxIterationsOption};
+    entry.options = {kCutOption, kGammaOption, kMaxIterationsOption,
+                     kThreadsOption};
     entry.factory = [](const MapperContext& ctx) {
       DecompositionParams params;
       params.variant = DecompositionVariant::Threshold;
       params.gamma = gamma_option(ctx.options);
       params.max_iterations = max_iterations_option(ctx.options);
+      params.threads = threads_option(ctx.options);
       return std::make_unique<DecompositionMapper>(
           "SPFirstFit",
           series_parallel_subgraphs(ctx.dag, ctx.rng,

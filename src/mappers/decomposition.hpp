@@ -43,6 +43,12 @@ struct DecompositionParams {
   /// Defaults to the evaluator's makespan. Used by the multi-objective
   /// scalarization extension (multi_objective.hpp).
   std::function<double(const Evaluator&, const Mapping&)> objective;
+  /// Worker threads for the full-frontier candidate sweeps (basic variant
+  /// iterations; the threshold variant's initial fill and verification
+  /// sweep). Goes through Evaluator::evaluate_batch — results are
+  /// bit-identical for every thread count; 1 = serial. A custom
+  /// `objective` disables batching (it is evaluated serially).
+  std::size_t threads = 1;
 };
 
 class DecompositionMapper final : public Mapper {

@@ -1,12 +1,14 @@
 #include "mappers/lookahead_heft.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "graph/algorithms.hpp"
 #include "mappers/builtin_registrations.hpp"
 #include "mappers/heft.hpp"
 #include "mappers/registry.hpp"
 #include "sched/timeline.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spmap {
 
@@ -105,56 +107,81 @@ MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
   state.mapping = Mapping(n, platform.default_device());
   state.fpga_area_used.assign(m, 0.0);
 
+  std::unique_ptr<ThreadPool> pool;
+  if (params_.threads > 1) pool = std::make_unique<ThreadPool>(params_.threads);
+
+  // Scores one candidate device for `v`: place v on its best slot, then
+  // tentatively schedule all children with plain HEFT on a private state
+  // copy. Reads the shared `state` only — safe to run per-device in
+  // parallel.
+  std::vector<Placement> placement(m);
+  std::vector<double> score(m);
+  auto score_device = [&](NodeId v, std::size_t d) {
+    placement[d] = Placement{};
+    score[d] = kInfeasible;
+    const DeviceId dev(d);
+    const Device& device = platform.device(dev);
+    if (device.is_fpga() &&
+        state.fpga_area_used[d] + cost.area(v) > device.area_budget) {
+      return;
+    }
+    // Placement of v on dev (its own best slot).
+    double est = 0.0;
+    for (const EdgeId e : dag.in_edges(v)) {
+      const NodeId u = dag.src(e);
+      est = std::max(est, state.finish[u.v] +
+                              cost.transfer_time(e, state.mapping[u], dev));
+    }
+    const double exec = cost.exec_time(v, dev);
+    Placement p;
+    p.device = dev;
+    for (std::size_t s = slot_offset[d]; s < slot_offset[d + 1]; ++s) {
+      const double start = state.timelines[s].earliest_start(est, exec);
+      if (start + exec < p.eft) {
+        p.eft = start + exec;
+        p.slot = s;
+        p.start = start;
+      }
+    }
+    if (p.eft >= kInfeasible) return;
+
+    // Tentative: copy the state, commit v, schedule children greedily.
+    SchedState tentative = state;
+    commit(cost, tentative, v, p);
+    double worst = p.eft;
+    for (const EdgeId e : dag.out_edges(v)) {
+      const NodeId child = dag.dst(e);
+      const Placement cp = best_placement(cost, slot_offset, tentative, child);
+      if (cp.eft >= kInfeasible) {
+        worst = kInfeasible;
+        break;
+      }
+      commit(cost, tentative, child, cp);
+      worst = std::max(worst, cp.eft);
+    }
+    placement[d] = p;
+    score[d] = worst;
+  };
+
   for (const NodeId v : order) {
     // Candidate devices for v; judge each by the worst child EFT after
-    // tentatively scheduling all children with plain HEFT.
+    // tentatively scheduling all children with plain HEFT. The frontier is
+    // scored in parallel; the winner is reduced in device order, so the
+    // choice matches the serial scan exactly.
+    if (pool) {
+      pool->parallel_for(m, [&](std::size_t begin, std::size_t end,
+                                std::size_t /*worker*/) {
+        for (std::size_t d = begin; d < end; ++d) score_device(v, d);
+      });
+    } else {
+      for (std::size_t d = 0; d < m; ++d) score_device(v, d);
+    }
     Placement chosen;
     double chosen_score = kInfeasible;
     for (std::size_t d = 0; d < m; ++d) {
-      const DeviceId dev(d);
-      const Device& device = platform.device(dev);
-      if (device.is_fpga() && state.fpga_area_used[d] + cost.area(v) >
-                                  device.area_budget) {
-        continue;
-      }
-      // Placement of v on dev (its own best slot).
-      double est = 0.0;
-      for (const EdgeId e : dag.in_edges(v)) {
-        const NodeId u = dag.src(e);
-        est = std::max(est, state.finish[u.v] +
-                                cost.transfer_time(e, state.mapping[u], dev));
-      }
-      const double exec = cost.exec_time(v, dev);
-      Placement p;
-      p.device = dev;
-      for (std::size_t s = slot_offset[d]; s < slot_offset[d + 1]; ++s) {
-        const double start = state.timelines[s].earliest_start(est, exec);
-        if (start + exec < p.eft) {
-          p.eft = start + exec;
-          p.slot = s;
-          p.start = start;
-        }
-      }
-      if (p.eft >= kInfeasible) continue;
-
-      // Tentative: copy the state, commit v, schedule children greedily.
-      SchedState tentative = state;
-      commit(cost, tentative, v, p);
-      double score = p.eft;
-      for (const EdgeId e : dag.out_edges(v)) {
-        const NodeId child = dag.dst(e);
-        const Placement cp =
-            best_placement(cost, slot_offset, tentative, child);
-        if (cp.eft >= kInfeasible) {
-          score = kInfeasible;
-          break;
-        }
-        commit(cost, tentative, child, cp);
-        score = std::max(score, cp.eft);
-      }
-      if (score < chosen_score) {
-        chosen_score = score;
-        chosen = p;
+      if (score[d] < chosen_score) {
+        chosen_score = score[d];
+        chosen = placement[d];
       }
     }
     SPMAP_ASSERT(chosen.eft < kInfeasible);
@@ -177,8 +204,14 @@ void detail::register_lookahead_heft_mapper(MapperRegistry& registry) {
   entry.description =
       "HEFT with one level of lookahead (Bittencourt et al.): device choice "
       "minimizes the worst child EFT instead of the task's own EFT";
-  entry.factory = [](const MapperContext&) {
-    return std::make_unique<LookaheadHeftMapper>();
+  entry.options = {
+      {"threads", "1",
+       "candidate-frontier worker threads (results thread-count invariant)"},
+  };
+  entry.factory = [](const MapperContext& ctx) {
+    LookaheadHeftParams params;
+    params.threads = threads_option(ctx.options);
+    return std::make_unique<LookaheadHeftMapper>(params);
   };
   registry.add(std::move(entry));
 }

@@ -1,11 +1,13 @@
 #include "mappers/nsga2.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "graph/algorithms.hpp"
 #include "mappers/builtin_registrations.hpp"
 #include "mappers/registry.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spmap {
 
@@ -68,8 +70,24 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
     return mp;
   };
 
-  auto evaluate_individual = [&](Individual& ind) {
-    ind.fitness = eval.evaluate(to_mapping(ind.genes));
+  // Fitness of a whole cohort at once through the parallel batch API.
+  // Evaluation consumes no rng state, so batching a cohort leaves the GA's
+  // random stream — and hence its trajectory — identical to evaluating
+  // each individual on the spot; the batch itself is bit-identical for
+  // every thread count.
+  std::unique_ptr<ThreadPool> pool;
+  if (params_.threads > 1) pool = std::make_unique<ThreadPool>(params_.threads);
+  auto evaluate_cohort = [&](std::vector<Individual>& cohort) {
+    std::vector<Mapping> mappings;
+    mappings.reserve(cohort.size());
+    for (const Individual& ind : cohort) {
+      mappings.push_back(to_mapping(ind.genes));
+    }
+    const std::vector<double> fitness =
+        eval.evaluate_batch(mappings, pool.get());
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      cohort[i].fitness = fitness[i];
+    }
   };
 
   // Initial population: the all-default individual plus random genomes.
@@ -82,8 +100,8 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
                             : DeviceId(rng.below(m));
     }
     repair(ind.genes);
-    evaluate_individual(ind);
   }
+  evaluate_cohort(population);
 
   auto tournament = [&]() -> const Individual& {
     const Individual* best = &population[rng.below(population.size())];
@@ -111,9 +129,9 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
         if (rng.chance(mutation_rate)) child.genes[g] = DeviceId(rng.below(m));
       }
       repair(child.genes);
-      evaluate_individual(child);
       offspring.push_back(std::move(child));
     }
+    evaluate_cohort(offspring);
     // Elitist (mu + lambda) survival: best `population` of parents +
     // offspring (single-objective NSGA-II truncation).
     for (auto& child : offspring) population.push_back(std::move(child));
@@ -152,6 +170,8 @@ void detail::register_nsga2_mapper(MapperRegistry& registry) {
       {"tournament", std::to_string(defaults.tournament),
        "parent-selection tournament size"},
       {"seed", "", "GA seed; unset draws from the construction rng"},
+      {"threads", std::to_string(defaults.threads),
+       "fitness-evaluation worker threads (results thread-count invariant)"},
   };
   entry.factory = [](const MapperContext& ctx) {
     Nsga2Params params;
@@ -180,6 +200,7 @@ void detail::register_nsga2_mapper(MapperRegistry& registry) {
                       ? static_cast<std::uint64_t>(
                             ctx.options.get_int("seed", 0))
                       : ctx.rng();
+    params.threads = threads_option(ctx.options);
     return std::make_unique<Nsga2Mapper>(params);
   };
   registry.add(std::move(entry));

@@ -25,6 +25,9 @@ struct Nsga2Params {
   std::uint64_t seed = 0x6e5ca2;
   /// Binary tournament size for parent selection.
   std::size_t tournament = 2;
+  /// Worker threads for fitness evaluation (Evaluator::evaluate_batch).
+  /// Results are bit-identical for every thread count; 1 = serial.
+  std::size_t threads = 1;
 };
 
 class Nsga2Mapper final : public Mapper {

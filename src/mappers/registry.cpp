@@ -105,6 +105,12 @@ std::string format_option_value(double value) {
   return buffer;
 }
 
+std::size_t threads_option(const MapperOptions& options) {
+  const std::int64_t value = options.get_int("threads", 1);
+  require(value >= 1, "mapper option 'threads': must be >= 1");
+  return static_cast<std::size_t>(value);
+}
+
 // ---- MapperEntry ----
 
 bool MapperEntry::supports_option(const std::string& key) const {

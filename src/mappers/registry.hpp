@@ -106,6 +106,11 @@ struct MapperEntry {
 /// from the parameter structs, so metadata cannot drift from behavior.
 std::string format_option_value(double value);
 
+/// Parses the shared `threads=` option (worker threads for batch/frontier
+/// evaluation; results must be thread-count invariant). Throws
+/// spmap::Error unless >= 1. Default: 1 (serial).
+std::size_t threads_option(const MapperOptions& options);
+
 /// Global name -> factory table of every mapping algorithm.
 class MapperRegistry {
  public:

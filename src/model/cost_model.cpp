@@ -1,10 +1,13 @@
 #include "model/cost_model.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace spmap {
 
 namespace {
+
+constexpr double kMaxExec = std::numeric_limits<double>::max();
 
 double device_speed_gops(const Device& dev, const TaskAttrs& attrs,
                          NodeId n) {
@@ -38,47 +41,44 @@ CostModel::CostModel(const Dag& dag, const TaskAttrs& attrs,
   }
 
   exec_.resize(n * m);
+  mean_exec_.resize(n);
+  min_exec_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId node(i);
     const double work_mops = attrs.complexity[i] * data_mb_[i];
+    double sum = 0.0;
+    double best = kMaxExec;
     for (std::size_t d = 0; d < m; ++d) {
       const double speed =
           device_speed_gops(platform.device(DeviceId(d)), attrs, node);
       // work is in M point-ops, speed in G point-ops/s.
-      exec_[i * m + d] = work_mops / 1000.0 / speed;
+      const double t = work_mops / 1000.0 / speed;
+      exec_[i * m + d] = t;
+      sum += t;
+      best = std::min(best, t);
     }
+    mean_exec_[i] = sum / static_cast<double>(m);
+    min_exec_[i] = m > 0 ? best : 0.0;
   }
-}
 
-double CostModel::mean_exec_time(NodeId n) const {
-  const std::size_t m = platform_->device_count();
-  double sum = 0.0;
-  for (std::size_t d = 0; d < m; ++d) sum += exec_[n.v * m + d];
-  return sum / static_cast<double>(m);
-}
-
-double CostModel::min_exec_time(NodeId n) const {
-  const std::size_t m = platform_->device_count();
-  double best = exec_[n.v * m];
-  for (std::size_t d = 1; d < m; ++d) {
-    best = std::min(best, exec_[n.v * m + d]);
-  }
-  return best;
-}
-
-double CostModel::mean_transfer_time(EdgeId e) const {
-  const std::size_t m = platform_->device_count();
-  if (m < 2) return 0.0;
-  double sum = 0.0;
-  std::size_t pairs = 0;
-  for (std::size_t a = 0; a < m; ++a) {
-    for (std::size_t b = 0; b < m; ++b) {
-      if (a == b) continue;
-      sum += transfer_time(e, DeviceId(a), DeviceId(b));
-      ++pairs;
+  // Per-pair means behind mean_transfer_time: the mean over ordered
+  // distinct pairs distributes over latency + volume / bandwidth.
+  if (m >= 2) {
+    double lat_sum = 0.0;
+    double inv_bw_sum = 0.0;
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = 0; b < m; ++b) {
+        if (a == b) continue;
+        lat_sum += platform.latency_s(DeviceId(a), DeviceId(b));
+        inv_bw_sum += 1.0 / platform.bandwidth_gbps(DeviceId(a), DeviceId(b));
+      }
     }
+    const auto pairs = static_cast<double>(m * (m - 1));
+    mean_latency_s_ = lat_sum / pairs;
+    mean_inv_bandwidth_ = inv_bw_sum / pairs;
   }
-  return sum / static_cast<double>(pairs);
+
+  fpga_devices_ = platform.fpga_devices();
 }
 
 double CostModel::mapped_area(const Mapping& m, DeviceId d) const {
@@ -90,10 +90,29 @@ double CostModel::mapped_area(const Mapping& m, DeviceId d) const {
 }
 
 bool CostModel::area_feasible(const Mapping& m) const {
-  for (DeviceId f : platform_->fpga_devices()) {
+  for (DeviceId f : fpga_devices_) {
     if (mapped_area(m, f) > platform_->device(f).area_budget) return false;
   }
   return true;
+}
+
+Mapping random_feasible_mapping(const CostModel& cost, Rng& rng) {
+  const Platform& platform = cost.platform();
+  Mapping m(cost.dag().node_count(), platform.default_device());
+  for (auto& d : m.device) {
+    d = DeviceId(rng.below(platform.device_count()));
+  }
+  for (const DeviceId f : platform.fpga_devices()) {
+    const double budget = platform.device(f).area_budget;
+    double used = cost.mapped_area(m, f);
+    for (std::size_t i = 0; i < m.size() && used > budget; ++i) {
+      if (m.device[i] == f) {
+        m.device[i] = platform.default_device();
+        used -= cost.area(NodeId(i));
+      }
+    }
+  }
+  return m;
 }
 
 double CostModel::max_serial_time() const {

@@ -23,6 +23,7 @@
 #include "graph/task_attrs.hpp"
 #include "model/mapping.hpp"
 #include "model/platform.hpp"
+#include "util/rng.hpp"
 
 namespace spmap {
 
@@ -50,13 +51,20 @@ class CostModel {
            dag_->data_mb(e) / 1000.0 / platform_->bandwidth_gbps(from, to);
   }
 
-  /// Mean execution time over all devices (HEFT's task weight).
-  double mean_exec_time(NodeId n) const;
-  /// Minimum execution time over all devices.
-  double min_exec_time(NodeId n) const;
+  /// Mean execution time over all devices (HEFT's task weight). Cached at
+  /// construction — O(1).
+  double mean_exec_time(NodeId n) const { return mean_exec_[n.v]; }
+  /// Minimum execution time over all devices. Cached at construction.
+  double min_exec_time(NodeId n) const { return min_exec_[n.v]; }
   /// Mean transfer time of edge `e` over all ordered pairs of distinct
-  /// devices (HEFT's average communication cost).
-  double mean_transfer_time(EdgeId e) const;
+  /// devices (HEFT's average communication cost). The mean distributes over
+  /// the transfer formula, so it reduces to two platform-wide scalars
+  /// (mean latency, mean inverse bandwidth) cached at construction — O(1)
+  /// instead of the former O(device_count^2) loop per call.
+  double mean_transfer_time(EdgeId e) const {
+    return mean_latency_s_ +
+           dag_->data_mb(e) / 1000.0 * mean_inv_bandwidth_;
+  }
 
   /// FPGA area demanded by a task.
   double area(NodeId n) const { return attrs_->area[n.v]; }
@@ -72,12 +80,27 @@ class CostModel {
   /// trivial upper bound for any serial schedule.
   double max_serial_time() const;
 
+  /// Raw node-major [node][device] execution-time table (node_count *
+  /// device_count entries). The evaluator's flat core indexes it directly.
+  const double* exec_data() const { return exec_.data(); }
+
  private:
   const Dag* dag_;
   const TaskAttrs* attrs_;
   const Platform* platform_;
-  std::vector<double> data_mb_;  // per node
-  std::vector<double> exec_;     // node-major [node][device]
+  std::vector<double> data_mb_;    // per node
+  std::vector<double> exec_;       // node-major [node][device]
+  std::vector<double> mean_exec_;  // per node
+  std::vector<double> min_exec_;   // per node
+  std::vector<DeviceId> fpga_devices_;  // cached: area_feasible is hot
+  double mean_latency_s_ = 0.0;    // over ordered distinct device pairs
+  double mean_inv_bandwidth_ = 0.0;
 };
+
+/// A uniformly random device assignment over the model's platform, with
+/// FPGA area overflow repaired toward the default device (lowest node ids
+/// first). The canonical random-candidate generator of the batch
+/// benchmarks and the evaluator equivalence tests.
+Mapping random_feasible_mapping(const CostModel& cost, Rng& rng);
 
 }  // namespace spmap

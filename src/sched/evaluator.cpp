@@ -5,94 +5,225 @@
 namespace spmap {
 
 Evaluator::Evaluator(const CostModel& cost, EvalParams params)
-    : cost_(&cost) {
+    : cost_(&cost), flat_(cost.dag()) {
   const Dag& dag = cost.dag();
   orders_.push_back(bfs_order(dag));
   Rng rng(params.seed);
   for (std::size_t i = 0; i < params.random_orders; ++i) {
     orders_.push_back(random_topological_order(dag, rng));
   }
-  start_.resize(dag.node_count());
-  finish_.resize(dag.node_count());
+
   const Platform& platform = cost.platform();
-  slot_offset_.resize(platform.device_count() + 1, 0);
-  for (std::size_t d = 0; d < platform.device_count(); ++d) {
-    slot_offset_[d + 1] =
-        slot_offset_[d] + std::max<std::size_t>(1, platform.device(
-                                                       DeviceId(d)).slots);
+  const std::size_t m = platform.device_count();
+  device_count_ = m;
+  exec_ = cost.exec_data();
+  slot_offset_.resize(m + 1, 0);
+  dev_is_fpga_.resize(m);
+  dev_fill_.resize(m);
+  for (std::size_t d = 0; d < m; ++d) {
+    const Device& dev = platform.device(DeviceId(d));
+    slot_offset_[d + 1] = slot_offset_[d] + std::max<std::size_t>(1, dev.slots);
+    dev_is_fpga_[d] = dev.is_fpga() ? 1 : 0;
+    dev_fill_[d] = dev.stream_fill_fraction;
   }
-  slot_ready_.resize(slot_offset_.back());
-  link_ready_.resize(platform.device_count());
+  link_latency_.assign(m * m, 0.0);
+  link_bandwidth_.assign(m * m, 1.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      link_latency_[a * m + b] = platform.latency_s(DeviceId(a), DeviceId(b));
+      link_bandwidth_[a * m + b] =
+          platform.bandwidth_gbps(DeviceId(a), DeviceId(b));
+    }
+  }
+
+  // Hoist the constant /1000 unit conversion of the transfer formula out
+  // of the sweep (same operation as the naive path, so still bit-exact).
+  in_mb_over_1000_.resize(flat_.edge_count());
+  for (std::size_t k = 0; k < flat_.edge_count(); ++k) {
+    in_mb_over_1000_[k] = flat_.in_data_mb_data()[k] / 1000.0;
+  }
+
+  plans_.reserve(orders_.size());
+  for (const auto& order : orders_) plans_.push_back(build_plan(order));
 }
 
-double Evaluator::evaluate_order(const Mapping& mapping,
-                                 const std::vector<NodeId>& order) const {
-  ++eval_count_;
-  const Dag& dag = cost_->dag();
-  const Platform& platform = cost_->platform();
-  SPMAP_ASSERT(order.size() == dag.node_count());
-  SPMAP_ASSERT(mapping.size() == dag.node_count());
-
-  std::fill(slot_ready_.begin(), slot_ready_.end(), 0.0);
-  std::fill(link_ready_.begin(), link_ready_.end(), 0.0);
-  double makespan = 0.0;
+Evaluator::WalkPlan Evaluator::build_plan(
+    const std::vector<NodeId>& order) const {
+  WalkPlan plan;
+  plan.reserve(order.size());
+  const auto m = static_cast<std::uint32_t>(device_count_);
   for (const NodeId v : order) {
-    const DeviceId d = mapping[v];
-    const Device& dev = platform.device(d);
+    plan.push_back(PlanNode{v.v, v.v * m, flat_.in_begin(v), flat_.in_end(v)});
+  }
+  return plan;
+}
+
+void Evaluator::prepare(EvalContext& ctx) const {
+  const std::size_t n = flat_.node_count();
+  if (ctx.start_.size() != n) {
+    ctx.start_.resize(n);
+    ctx.finish_.resize(n);
+  }
+  if (ctx.slot_ready_.size() != slot_offset_.back()) {
+    ctx.slot_ready_.resize(slot_offset_.back());
+  }
+  if (ctx.link_ready_.size() != device_count_) {
+    ctx.link_ready_.resize(device_count_);
+  }
+}
+
+double Evaluator::evaluate_plan(const Mapping& mapping, const WalkPlan& plan,
+                                EvalContext& ctx) const {
+  ++ctx.evals_;
+  prepare(ctx);
+  std::fill(ctx.slot_ready_.begin(), ctx.slot_ready_.end(), 0.0);
+  std::fill(ctx.link_ready_.begin(), ctx.link_ready_.end(), 0.0);
+
+  // Everything the sweep touches is a contiguous array captured in a local
+  // non-aliasing pointer, so the loop body stays in registers.
+  const std::size_t m = device_count_;
+  const DeviceId* __restrict map = mapping.device.data();
+  const double* __restrict exec = exec_;
+  const std::uint32_t* __restrict in_src = flat_.in_src_data();
+  const double* __restrict in_mb1000 = in_mb_over_1000_.data();
+  const std::uint8_t* __restrict is_fpga = dev_is_fpga_.data();
+  const double* __restrict fill = dev_fill_.data();
+  const double* __restrict lat = link_latency_.data();
+  const double* __restrict bw = link_bandwidth_.data();
+  const std::size_t* __restrict slot_offset = slot_offset_.data();
+  double* __restrict start = ctx.start_.data();
+  double* __restrict finish = ctx.finish_.data();
+  double* __restrict slot_ready = ctx.slot_ready_.data();
+  double* __restrict link_ready = ctx.link_ready_.data();
+
+  double makespan = 0.0;
+  for (const PlanNode pn : plan) {
+    const std::uint32_t v = pn.node;
+    const std::uint32_t d = map[v].v;
+    const bool dev_fpga = is_fpga[d] != 0;
     double ready = 0.0;
     bool streamed_in = false;
-    for (const EdgeId e : dag.in_edges(v)) {
-      const NodeId u = dag.src(e);
-      const DeviceId du = mapping[u];
+    for (std::uint32_t k = pn.in_begin; k < pn.in_end; ++k) {
+      const std::uint32_t u = in_src[k];
+      const std::uint32_t du = map[u].v;
       if (du == d) {
-        if (dev.is_fpga()) {
+        if (dev_fpga) {
           // FPGA dataflow streaming: the consumer stage starts once the
           // producer's pipeline has filled, not when the producer finishes.
-          ready = std::max(ready,
-                           start_[u.v] + dev.stream_fill_fraction *
-                                             cost_->exec_time(u, d));
+          ready = std::max(ready, start[u] + fill[d] * exec[u * m + d]);
           streamed_in = true;
         } else {
-          ready = std::max(ready, finish_[u.v]);
+          ready = std::max(ready, finish[u]);
         }
       } else {
         // Cross-device transfer: occupies the link of both endpoint
         // devices; concurrent transfers through one attachment serialize.
-        const double t_start = std::max(
-            {finish_[u.v], link_ready_[du.v], link_ready_[d.v]});
-        const double arrival = t_start + cost_->transfer_time(e, du, d);
-        link_ready_[du.v] = arrival;
-        link_ready_[d.v] = arrival;
+        const std::size_t li = du * m + d;
+        const double transfer = lat[li] + in_mb1000[k] / bw[li];
+        const double t_start =
+            std::max({finish[u], link_ready[du], link_ready[d]});
+        const double arrival = t_start + transfer;
+        link_ready[du] = arrival;
+        link_ready[d] = arrival;
         ready = std::max(ready, arrival);
       }
     }
+    const double exec_v = exec[pn.exec_offset + d];
+    double start_v;
     if (streamed_in) {
       // A streamed stage co-resides in fabric with its producer and does
       // not queue on an execution slot.
-      start_[v.v] = ready;
+      start_v = ready;
     } else {
-      // Earliest-ready execution slot of the device.
-      std::size_t best_slot = slot_offset_[d.v];
-      for (std::size_t s = slot_offset_[d.v] + 1; s < slot_offset_[d.v + 1];
-           ++s) {
-        if (slot_ready_[s] < slot_ready_[best_slot]) best_slot = s;
+      // Earliest-ready execution slot of the device. Conditional-move form:
+      // the comparisons are data-dependent and would mispredict as
+      // branches.
+      std::size_t best_slot = slot_offset[d];
+      double best = slot_ready[best_slot];
+      const std::size_t slots_end = slot_offset[d + 1];
+      for (std::size_t s = best_slot + 1; s < slots_end; ++s) {
+        const double x = slot_ready[s];
+        best_slot = x < best ? s : best_slot;
+        best = x < best ? x : best;
       }
-      start_[v.v] = std::max(ready, slot_ready_[best_slot]);
-      slot_ready_[best_slot] = start_[v.v] + cost_->exec_time(v, d);
+      start_v = std::max(ready, best);
+      slot_ready[best_slot] = start_v + exec_v;
     }
-    finish_[v.v] = start_[v.v] + cost_->exec_time(v, d);
-    makespan = std::max(makespan, finish_[v.v]);
+    start[v] = start_v;
+    const double finish_v = start_v + exec_v;
+    finish[v] = finish_v;
+    makespan = std::max(makespan, finish_v);
   }
   return makespan;
 }
 
-double Evaluator::evaluate(const Mapping& mapping) const {
+double Evaluator::evaluate(const Mapping& mapping, EvalContext& ctx) const {
+  SPMAP_ASSERT(mapping.size() == flat_.node_count());
   if (!cost_->area_feasible(mapping)) return kInfeasible;
   double best = kInfeasible;
-  for (const auto& order : orders_) {
-    best = std::min(best, evaluate_order(mapping, order));
+  for (const WalkPlan& plan : plans_) {
+    best = std::min(best, evaluate_plan(mapping, plan, ctx));
   }
   return best;
+}
+
+double Evaluator::evaluate_order(const Mapping& mapping,
+                                 const std::vector<NodeId>& order,
+                                 EvalContext& ctx) const {
+  SPMAP_ASSERT(order.size() == flat_.node_count());
+  SPMAP_ASSERT(mapping.size() == flat_.node_count());
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    if (&orders_[i] == &order) return evaluate_plan(mapping, plans_[i], ctx);
+  }
+  return evaluate_plan(mapping, build_plan(order), ctx);
+}
+
+std::vector<double> Evaluator::evaluate_batch(std::span<const Mapping> mappings,
+                                              ThreadPool* pool) const {
+  std::vector<double> result(mappings.size());
+  // Per-worker scratch persists across batch calls (a generation loop
+  // dispatches thousands of batches); part of why this is a single-caller
+  // API. The serial path uses worker 0's context, not scratch_, so batch
+  // evaluation never disturbs last_start_times()/last_finish_times().
+  const std::size_t workers =
+      pool == nullptr ? 1 : std::max<std::size_t>(1, pool->thread_count());
+  if (batch_contexts_.size() < workers) batch_contexts_.resize(workers);
+  std::size_t before = 0;
+  for (const EvalContext& ctx : batch_contexts_) before += ctx.evals_;
+  if (pool == nullptr || pool->thread_count() <= 1 || mappings.size() <= 1) {
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+      result[i] = evaluate(mappings[i], batch_contexts_[0]);
+    }
+  } else {
+    pool->parallel_for(mappings.size(), [&](std::size_t begin,
+                                            std::size_t end,
+                                            std::size_t worker) {
+      EvalContext& ctx = batch_contexts_[worker];
+      for (std::size_t i = begin; i < end; ++i) {
+        result[i] = evaluate(mappings[i], ctx);
+      }
+    });
+  }
+  std::size_t after = 0;
+  for (const EvalContext& ctx : batch_contexts_) after += ctx.evals_;
+  eval_count_ += after - before;
+  return result;
+}
+
+double Evaluator::evaluate(const Mapping& mapping) const {
+  const std::size_t before = scratch_.evals_;
+  const double result = evaluate(mapping, scratch_);
+  eval_count_ += scratch_.evals_ - before;
+  return result;
+}
+
+double Evaluator::evaluate_order(const Mapping& mapping,
+                                 const std::vector<NodeId>& order) const {
+  const std::size_t before = scratch_.evals_;
+  const double result = evaluate_order(mapping, order, scratch_);
+  eval_count_ += scratch_.evals_ - before;
+  return result;
 }
 
 Mapping Evaluator::default_mapping() const {

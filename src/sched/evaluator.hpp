@@ -24,13 +24,48 @@
 /// breadth-first schedule and a configurable number of random topological
 /// schedules (the paper uses 100 for reporting; the mapping inner loop uses
 /// the breadth-first schedule only by default).
+///
+/// ## The flat core
+///
+/// This is the hot path of every search mapper (thousands to millions of
+/// calls per experiment), so the simulation never touches `Dag` or
+/// `CostModel` inside the loop. At construction the evaluator builds a
+/// `FlatGraph` CSR view of the graph and, per prepared schedule order, a
+/// *walk plan*: one compact record per node (node id, device-strided offset
+/// into the execution-time table, in-edge span) laid out in walk order.
+/// Evaluating a mapping is then a branch-light linear sweep over contiguous
+/// arrays. The arithmetic is performed in exactly the order of the naive
+/// definition (see sched/reference_evaluator.hpp), so flat results are
+/// bit-identical to the reference implementation.
+///
+/// ## Thread-safety contract
+///
+/// The evaluator itself is immutable after construction. All simulation
+/// scratch lives in an explicit `EvalContext`:
+///  * `evaluate(mapping, ctx)` / `evaluate_order(mapping, order, ctx)` are
+///    const and safe to call concurrently as long as each thread uses its
+///    own context;
+///  * the context-free convenience overloads (`evaluate(mapping)`, ...)
+///    share one internal scratch context plus the `evaluation_count()` /
+///    `last_*_times()` counters, and are therefore NOT thread-safe — they
+///    exist for the single-threaded call sites (mappers' serial paths,
+///    schedule extraction, tests);
+///  * `evaluate_batch` runs the context overload with one persistent
+///    private context per worker and a deterministic static partition, so
+///    its results are bit-identical for every thread count, including the
+///    serial path. It is itself a single-caller API (internally parallel,
+///    but it shares the counters above): never call it concurrently with
+///    itself or the convenience overloads.
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "graph/flat_graph.hpp"
 #include "model/cost_model.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spmap {
 
@@ -44,22 +79,65 @@ struct EvalParams {
 /// Value returned for infeasible mappings.
 inline constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
+/// Per-thread (or per-call) simulation scratch. Reused across evaluations;
+/// buffers grow on first use with a given evaluator. A context may only be
+/// used with one evaluator at a time and by one thread at a time.
+class EvalContext {
+ public:
+  /// Single-order evaluations performed through this context.
+  std::size_t evaluations() const { return evals_; }
+
+ private:
+  friend class Evaluator;
+  std::vector<double> start_;
+  std::vector<double> finish_;
+  std::vector<double> slot_ready_;  // flattened per (device, slot)
+  std::vector<double> link_ready_;  // per device
+  std::size_t evals_ = 0;
+};
+
 class Evaluator {
  public:
-  /// The cost model must outlive the evaluator. Schedule orders are
-  /// generated once at construction.
+  /// The cost model must outlive the evaluator. Schedule orders, the flat
+  /// graph view and the per-order walk plans are built once here.
   explicit Evaluator(const CostModel& cost, EvalParams params = {});
 
   const CostModel& cost() const { return *cost_; }
   const Dag& dag() const { return cost_->dag(); }
+  const FlatGraph& flat_graph() const { return flat_; }
 
-  /// Makespan of `mapping` under one given topological order.
+  // ---- thread-safe evaluation (explicit context) ----
+
+  /// Makespan of `mapping`: minimum over the prepared schedule orders.
+  /// +infinity if infeasible. Safe to call concurrently with distinct
+  /// contexts.
+  double evaluate(const Mapping& mapping, EvalContext& ctx) const;
+
+  /// Makespan of `mapping` under one given topological order. Orders taken
+  /// from `orders()` use the precomputed walk plan; foreign orders pay a
+  /// one-off plan construction.
+  double evaluate_order(const Mapping& mapping,
+                        const std::vector<NodeId>& order,
+                        EvalContext& ctx) const;
+
+  // ---- single-threaded convenience (shared internal scratch) ----
+
+  /// Makespans of a batch of mappings, in order. With a pool of k workers
+  /// the batch is split into k contiguous blocks, each evaluated with a
+  /// persistent per-worker context; results are bit-identical to the
+  /// serial path for every thread count. `pool == nullptr` (or a 1-thread
+  /// pool) runs serially on the caller. The batch is internally parallel
+  /// but a *single-caller* API: it reuses internal scratch and aggregates
+  /// into evaluation_count(), so do not call it (or the other convenience
+  /// overloads) concurrently from several threads.
+  std::vector<double> evaluate_batch(std::span<const Mapping> mappings,
+                                     ThreadPool* pool = nullptr) const;
+
+  /// As the context overloads, but using the evaluator's internal scratch
+  /// context. NOT thread-safe; see the contract above.
+  double evaluate(const Mapping& mapping) const;
   double evaluate_order(const Mapping& mapping,
                         const std::vector<NodeId>& order) const;
-
-  /// Makespan of `mapping`: minimum over the prepared schedule orders
-  /// (breadth-first + random_orders randoms). +infinity if infeasible.
-  double evaluate(const Mapping& mapping) const;
 
   /// Makespan with every task on the platform's default device — the
   /// baseline of the paper's "relative improvement" metric.
@@ -68,25 +146,55 @@ class Evaluator {
   /// The default (all-CPU) mapping itself.
   Mapping default_mapping() const;
 
-  /// Number of single-order evaluations performed so far (profiling aid).
+  /// Number of single-order evaluations performed so far through the
+  /// convenience overloads and evaluate_batch (profiling aid). Evaluations
+  /// through caller-owned contexts are counted in EvalContext::evaluations.
   std::size_t evaluation_count() const { return eval_count_; }
 
-  /// Per-task start/finish times of the most recent evaluate_order() call
-  /// (schedule extraction; see sched/schedule.hpp).
-  const std::vector<double>& last_start_times() const { return start_; }
-  const std::vector<double>& last_finish_times() const { return finish_; }
+  /// Per-task start/finish times of the most recent *convenience-overload*
+  /// evaluate_order()/evaluate() call (schedule extraction; see
+  /// sched/schedule.hpp). Context and batch evaluations do not touch these.
+  const std::vector<double>& last_start_times() const {
+    return scratch_.start_;
+  }
+  const std::vector<double>& last_finish_times() const {
+    return scratch_.finish_;
+  }
 
   const std::vector<std::vector<NodeId>>& orders() const { return orders_; }
 
  private:
+  /// One node of a walk plan: everything the sweep needs, in walk order.
+  struct PlanNode {
+    std::uint32_t node;         ///< node id (index into start/finish)
+    std::uint32_t exec_offset;  ///< node * device_count, into exec table
+    std::uint32_t in_begin;     ///< in-edge span in the FlatGraph arrays
+    std::uint32_t in_end;
+  };
+  using WalkPlan = std::vector<PlanNode>;
+
+  WalkPlan build_plan(const std::vector<NodeId>& order) const;
+  /// The flat sweep. Infeasibility is NOT checked here.
+  double evaluate_plan(const Mapping& mapping, const WalkPlan& plan,
+                       EvalContext& ctx) const;
+  void prepare(EvalContext& ctx) const;
+
   const CostModel* cost_;
+  FlatGraph flat_;
   std::vector<std::vector<NodeId>> orders_;  // [0] = breadth-first
-  // Scratch buffers reused across evaluations (single-threaded use).
-  mutable std::vector<double> start_;
-  mutable std::vector<double> finish_;
-  mutable std::vector<double> slot_ready_;  // flattened per (device, slot)
-  mutable std::vector<double> link_ready_;  // per device
-  std::vector<std::size_t> slot_offset_;    // device -> first slot index
+  std::vector<WalkPlan> plans_;              // plans_[i] walks orders_[i]
+  std::vector<std::size_t> slot_offset_;     // device -> first slot index
+  // Flattened device/link tables so the sweep never calls into Platform.
+  std::size_t device_count_ = 0;
+  const double* exec_ = nullptr;            // cost model's [node][device]
+  std::vector<std::uint8_t> dev_is_fpga_;   // per device
+  std::vector<double> dev_fill_;            // per device, stream fill frac
+  std::vector<double> link_latency_;        // [from][to], 0 on diagonal
+  std::vector<double> link_bandwidth_;      // [from][to], 1 on diagonal
+  std::vector<double> in_mb_over_1000_;     // per in-edge slot: data_mb/1000
+
+  mutable EvalContext scratch_;  // backs the convenience overloads
+  mutable std::vector<EvalContext> batch_contexts_;  // per-worker, reused
   mutable std::size_t eval_count_ = 0;
 };
 

@@ -1,0 +1,93 @@
+#include "sched/reference_evaluator.hpp"
+
+#include <algorithm>
+
+#include "sched/evaluator.hpp"
+
+namespace spmap {
+
+ReferenceEvaluator::ReferenceEvaluator(const CostModel& cost,
+                                       EvalParams params)
+    : cost_(&cost) {
+  const Dag& dag = cost.dag();
+  orders_.push_back(bfs_order(dag));
+  Rng rng(params.seed);
+  for (std::size_t i = 0; i < params.random_orders; ++i) {
+    orders_.push_back(random_topological_order(dag, rng));
+  }
+  start_.resize(dag.node_count());
+  finish_.resize(dag.node_count());
+  const Platform& platform = cost.platform();
+  slot_offset_.resize(platform.device_count() + 1, 0);
+  for (std::size_t d = 0; d < platform.device_count(); ++d) {
+    slot_offset_[d + 1] =
+        slot_offset_[d] + std::max<std::size_t>(1, platform.device(
+                                                       DeviceId(d)).slots);
+  }
+  slot_ready_.resize(slot_offset_.back());
+  link_ready_.resize(platform.device_count());
+}
+
+double ReferenceEvaluator::evaluate_order(const Mapping& mapping,
+                                          const std::vector<NodeId>& order) {
+  const Dag& dag = cost_->dag();
+  const Platform& platform = cost_->platform();
+  SPMAP_ASSERT(order.size() == dag.node_count());
+  SPMAP_ASSERT(mapping.size() == dag.node_count());
+
+  std::fill(slot_ready_.begin(), slot_ready_.end(), 0.0);
+  std::fill(link_ready_.begin(), link_ready_.end(), 0.0);
+  double makespan = 0.0;
+  for (const NodeId v : order) {
+    const DeviceId d = mapping[v];
+    const Device& dev = platform.device(d);
+    double ready = 0.0;
+    bool streamed_in = false;
+    for (const EdgeId e : dag.in_edges(v)) {
+      const NodeId u = dag.src(e);
+      const DeviceId du = mapping[u];
+      if (du == d) {
+        if (dev.is_fpga()) {
+          ready = std::max(ready,
+                           start_[u.v] + dev.stream_fill_fraction *
+                                             cost_->exec_time(u, d));
+          streamed_in = true;
+        } else {
+          ready = std::max(ready, finish_[u.v]);
+        }
+      } else {
+        const double t_start = std::max(
+            {finish_[u.v], link_ready_[du.v], link_ready_[d.v]});
+        const double arrival = t_start + cost_->transfer_time(e, du, d);
+        link_ready_[du.v] = arrival;
+        link_ready_[d.v] = arrival;
+        ready = std::max(ready, arrival);
+      }
+    }
+    if (streamed_in) {
+      start_[v.v] = ready;
+    } else {
+      std::size_t best_slot = slot_offset_[d.v];
+      for (std::size_t s = slot_offset_[d.v] + 1; s < slot_offset_[d.v + 1];
+           ++s) {
+        if (slot_ready_[s] < slot_ready_[best_slot]) best_slot = s;
+      }
+      start_[v.v] = std::max(ready, slot_ready_[best_slot]);
+      slot_ready_[best_slot] = start_[v.v] + cost_->exec_time(v, d);
+    }
+    finish_[v.v] = start_[v.v] + cost_->exec_time(v, d);
+    makespan = std::max(makespan, finish_[v.v]);
+  }
+  return makespan;
+}
+
+double ReferenceEvaluator::evaluate(const Mapping& mapping) {
+  if (!cost_->area_feasible(mapping)) return kInfeasible;
+  double best = kInfeasible;
+  for (const auto& order : orders_) {
+    best = std::min(best, evaluate_order(mapping, order));
+  }
+  return best;
+}
+
+}  // namespace spmap

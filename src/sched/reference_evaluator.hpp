@@ -1,0 +1,55 @@
+#pragma once
+/// \file reference_evaluator.hpp
+/// Naive reference implementation of the makespan evaluation.
+///
+/// This is the textbook form of the simulation in sched/evaluator.hpp: it
+/// walks the `Dag`'s nested adjacency vectors and calls `CostModel` /
+/// `Platform` accessors inside the loop, exactly as the model is defined in
+/// the paper (Sections II-B, III-A). It exists as the *oracle* for the flat
+/// evaluation core: the equivalence tests assert that `Evaluator` (the
+/// contiguous-array fast path every mapper uses) agrees with this
+/// implementation on random SP, almost-SP and workflow graphs. It also
+/// serves as the baseline of the `perf_report` speedup metric.
+///
+/// Keep the simulation semantics here in lockstep with evaluator.cpp: both
+/// perform the same floating-point operations in the same order, so results
+/// are bit-identical, not merely close.
+///
+/// Not a hot path — do not "optimize" this file; that is the flat core's
+/// job.
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "model/cost_model.hpp"
+#include "sched/evaluator.hpp"
+
+namespace spmap {
+
+class ReferenceEvaluator {
+ public:
+  /// Same construction contract as Evaluator: identical `params` produce
+  /// the identical schedule-order set (bit-reproducible rng).
+  explicit ReferenceEvaluator(const CostModel& cost, EvalParams params = {});
+
+  /// Makespan of `mapping` under one given topological order.
+  double evaluate_order(const Mapping& mapping,
+                        const std::vector<NodeId>& order);
+
+  /// Makespan of `mapping`: minimum over the prepared schedule orders.
+  /// +infinity if infeasible.
+  double evaluate(const Mapping& mapping);
+
+  const std::vector<std::vector<NodeId>>& orders() const { return orders_; }
+
+ private:
+  const CostModel* cost_;
+  std::vector<std::vector<NodeId>> orders_;  // [0] = breadth-first
+  std::vector<double> start_;
+  std::vector<double> finish_;
+  std::vector<double> slot_ready_;  // flattened per (device, slot)
+  std::vector<double> link_ready_;  // per device
+  std::vector<std::size_t> slot_offset_;  // device -> first slot index
+};
+
+}  // namespace spmap

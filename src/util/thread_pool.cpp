@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace spmap {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : thread_count_(std::max<std::size_t>(1, threads)) {
+  threads_.reserve(thread_count_ - 1);
+  for (std::size_t w = 1; w < thread_count_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::partition(std::size_t n,
+                                                          std::size_t workers,
+                                                          std::size_t w) {
+  // First (n % workers) blocks get one extra item; blocks stay contiguous.
+  const std::size_t base = n / workers;
+  const std::size_t extra = n % workers;
+  const std::size_t begin = w * base + std::min(w, extra);
+  const std::size_t end = begin + base + (w < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (thread_count_ == 1 || n <= 1) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    error_ = nullptr;
+    pending_ = thread_count_ - 1;
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+
+  // The caller is worker 0.
+  const auto [begin, end] = partition(n, thread_count_, 0);
+  std::exception_ptr caller_error;
+  try {
+    if (begin < end) fn(begin, end, 0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (!error_ && caller_error) error_ = caller_error;
+  if (error_) {
+    const std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* job;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+      n = job_n_;
+    }
+    const auto [begin, end] = partition(n, thread_count_, worker);
+    std::exception_ptr err;
+    try {
+      if (begin < end) (*job)(begin, end, worker);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (err && !error_) error_ = err;
+      if (--pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace spmap

@@ -1,0 +1,77 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Persistent worker pool with a deterministic parallel_for.
+///
+/// The pool exists for the evaluator's batch API: many independent,
+/// identically-shaped work items (candidate mappings) that each need a
+/// per-worker scratch buffer. Work is split by *static* partitioning —
+/// worker `w` always receives the same contiguous index block for a given
+/// (n, worker_count) — so any computation whose items are independent
+/// produces bit-identical results regardless of the worker count or
+/// scheduling jitter.
+///
+/// The calling thread participates as worker 0; a pool of `threads == 1`
+/// spawns no OS threads at all and runs everything inline, so serial
+/// callers pay nothing. Worker threads live until the pool is destroyed,
+/// avoiding per-call thread spawn costs in generation loops that dispatch
+/// thousands of small batches.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spmap {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` workers total (including the calling thread).
+  /// `threads == 0` is promoted to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers (calling thread + background threads).
+  std::size_t thread_count() const { return thread_count_; }
+
+  /// Runs `fn(begin, end, worker)` over a static partition of [0, n) into
+  /// `thread_count()` contiguous blocks and blocks until all are done.
+  /// Worker ids are in [0, thread_count()); the caller runs block 0.
+  /// `fn` must not recurse into the same pool. Exceptions thrown by any
+  /// worker are rethrown (one of them) on the calling thread after the
+  /// parallel region completes.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t begin, std::size_t end,
+                               std::size_t worker)>& fn);
+
+  /// Block of worker `w` in the static partition of [0, n) over `workers`.
+  static std::pair<std::size_t, std::size_t> partition(std::size_t n,
+                                                       std::size_t workers,
+                                                       std::size_t w);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::size_t thread_count_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  // Job state, guarded by mutex_.
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_ =
+      nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t job_epoch_ = 0;  // bumped per parallel_for call
+  std::size_t pending_ = 0;      // workers still running the current job
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace spmap

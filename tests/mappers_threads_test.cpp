@@ -1,0 +1,74 @@
+/// Thread-count invariance of the search mappers: a mapper configured with
+/// threads=k must produce the exact same mapping and predicted makespan as
+/// its serial (threads=1) configuration — the parallel batch evaluation is
+/// an implementation detail, never a semantic one.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mappers/registry.hpp"
+#include "model/platform.hpp"
+#include "sched/evaluator.hpp"
+
+namespace spmap {
+namespace {
+
+/// Runs one registry spec twice (threads=1 vs threads=4) on the same graph
+/// and expects bit-identical outcomes.
+void expect_thread_invariant(const std::string& base_spec,
+                             std::uint64_t graph_seed) {
+  Rng graph_rng(graph_seed);
+  const Dag dag = generate_sp_dag(40, graph_rng);
+  const TaskAttrs attrs = random_task_attrs(dag, graph_rng);
+  const Platform platform = reference_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+
+  const char* const sep = base_spec.find(':') == std::string::npos ? ":" : ",";
+  MapperResult serial;
+  MapperResult parallel;
+  {
+    Rng rng(1);
+    auto mapper = MapperRegistry::instance().create(base_spec + sep +
+                                                    "threads=1", dag, rng);
+    serial = mapper->map(eval);
+  }
+  {
+    Rng rng(1);
+    auto mapper = MapperRegistry::instance().create(base_spec + sep +
+                                                    "threads=4", dag, rng);
+    parallel = mapper->map(eval);
+  }
+  EXPECT_EQ(serial.mapping, parallel.mapping) << base_spec;
+  EXPECT_EQ(serial.predicted_makespan, parallel.predicted_makespan)
+      << base_spec;
+  EXPECT_EQ(serial.iterations, parallel.iterations) << base_spec;
+  EXPECT_EQ(serial.evaluations, parallel.evaluations) << base_spec;
+}
+
+TEST(MapperThreads, Nsga2Invariant) {
+  expect_thread_invariant("nsga:generations=8,pop=16,seed=5", 301);
+}
+
+TEST(MapperThreads, SingleNodeInvariant) {
+  expect_thread_invariant("sn", 302);
+}
+
+TEST(MapperThreads, SnFirstFitInvariant) {
+  expect_thread_invariant("snff", 303);
+}
+
+TEST(MapperThreads, SeriesParallelInvariant) {
+  expect_thread_invariant("sp", 304);
+}
+
+TEST(MapperThreads, SpFirstFitInvariant) {
+  expect_thread_invariant("spff:gamma=2", 305);
+}
+
+TEST(MapperThreads, LookaheadHeftInvariant) {
+  expect_thread_invariant("laheft", 306);
+}
+
+}  // namespace
+}  // namespace spmap
