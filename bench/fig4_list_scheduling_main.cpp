@@ -9,52 +9,54 @@
 /// becomes *faster* than SingleNode because bigger subgraphs are replaced
 /// at once.
 ///
-/// Flags: --sizes=5,10,... --graphs N --seed S
+/// This binary is a thin wrapper over the committed scenario file
+/// `scenarios/fig4_list_scheduling.json` — the experiment itself (platform,
+/// workload, mapper line-up, sweep) lives there, so `spmap_cli sweep`
+/// reproduces it identically. Flags override the scenario for quick runs.
+///
+/// Flags: --scenario FILE --sizes=5,20,... --graphs N --seed S
+///        --threads N --out results.json
 
 #include <cstdio>
-#include <vector>
+#include <iostream>
 
-#include "graph/generators.hpp"
-#include "harness.hpp"
+#include "bench/scenario.hpp"
+#include "bench/scenario_runner.hpp"
 #include "util/flags.hpp"
 
 using namespace spmap;
-using namespace spmap::bench;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv, {"sizes", "graphs", "seed"});
-  std::vector<std::int64_t> default_sizes;
-  for (std::int64_t s = 5; s <= 200; s += 15) default_sizes.push_back(s);
-  const auto sizes = flags.get_int_list("sizes", default_sizes);
-  const auto graphs = static_cast<std::size_t>(flags.get_int("graphs", 10));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
-
-  const Platform platform = reference_platform();
-  Rng rng(seed);
-
-  const std::vector<MapperSpec> specs{
-      heft_spec(),           peft_spec(),
-      single_node_spec(false), single_node_spec(true),
-      series_parallel_spec(false), series_parallel_spec(true)};
-
-  std::vector<double> xs;
-  std::vector<std::map<std::string, AlgoMetrics>> rows;
-  for (const auto size : sizes) {
-    std::vector<Case> cases;
-    for (std::size_t g = 0; g < graphs; ++g) {
-      Case c;
-      c.dag = generate_sp_dag(static_cast<std::size_t>(size), rng);
-      c.attrs = random_task_attrs(c.dag, rng);
-      cases.push_back(std::move(c));
+  const Flags flags(argc, argv,
+                    {"scenario", "sizes", "graphs", "seed", "threads", "out"});
+  try {
+    Scenario scenario = load_scenario_file(flags.get(
+        "scenario", std::string(SPMAP_SCENARIO_DIR) +
+                        "/fig4_list_scheduling.json"));
+    if (flags.has("sizes")) {
+      require(scenario.sweep.enabled(),
+              "--sizes: scenario has no sweep axis to override");
+      scenario.sweep.values = flags.get_int_list("sizes", {});
+      require(!scenario.sweep.values.empty(),
+              "--sizes: need at least one value");
     }
-    std::fprintf(stderr, "[fig4] %lld tasks (%zu graphs)...\n",
-                 static_cast<long long>(size), graphs);
-    rows.push_back(run_point(cases, specs, platform, rng));
-    xs.push_back(static_cast<double>(size));
-  }
+    if (flags.has("graphs")) {
+      const auto graphs = flags.get_int("graphs", 10);
+      require(graphs >= 1, "--graphs must be >= 1");
+      scenario.repetitions = static_cast<std::size_t>(graphs);
+    }
+    if (flags.has("seed")) {
+      scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+    }
+    SweepRunOptions options;
+    const auto threads = flags.get_int("threads", 1);
+    require(threads >= 1, "--threads must be >= 1");
+    options.threads = static_cast<std::size_t>(threads);
 
-  print_series("fig4", "tasks", xs, rows,
-               {"HEFT", "PEFT", "SingleNode", "SNFirstFit", "SeriesParallel",
-                "SPFirstFit"});
+    run_report_write(scenario, options, flags.get("out", ""), std::cout);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "bench_fig4_list_scheduling: %s\n", ex.what());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,241 @@
+#include "bench/scenario_runner.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "mappers/registry.hpp"
+#include "model/cost_model.hpp"
+#include "sched/evaluator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace spmap {
+
+namespace {
+
+/// Everything measured for one (repetition, mapper) pair.
+struct CellResult {
+  double improvement = 0.0;
+  double makespan = 0.0;
+  double baseline = 0.0;
+  double seconds = 0.0;
+};
+
+/// Runs one sweep point: `cases` repetitions of every mapper, repetitions
+/// parallelized over the pool's static partition (bit-identical results
+/// for every thread count; see the header contract).
+std::vector<CellResult> run_point(const Scenario& scenario,
+                                  const std::vector<TaskGraph>& cases,
+                                  const std::vector<Rng>& rngs,
+                                  ThreadPool& pool) {
+  const std::size_t mapper_count = scenario.mappers.size();
+  std::vector<CellResult> cells(cases.size() * mapper_count);
+  const MapperRegistry& registry = MapperRegistry::instance();
+
+  pool.parallel_for(cases.size(), [&](std::size_t begin, std::size_t end,
+                                      std::size_t /*worker*/) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const TaskGraph& tg = cases[c];
+      const CostModel cost(tg.dag, tg.attrs, scenario.platform.platform);
+      // Inner evaluator: the linear-time cost function used while mapping.
+      const Evaluator inner(cost, {.random_orders = 0});
+      // Reporting evaluator: min over BFS + random schedules (Sec. IV-A).
+      const Evaluator reporting(cost,
+                                {.random_orders = scenario.reporting_orders});
+      const double baseline = reporting.default_mapping_makespan();
+
+      for (std::size_t m = 0; m < mapper_count; ++m) {
+        Rng mapper_rng = rngs[c * mapper_count + m];
+        WallTimer timer;
+        auto mapper =
+            registry.create(scenario.mappers[m].spec, tg.dag, mapper_rng);
+        const MapperResult result = mapper->map(inner);
+        const double seconds = timer.seconds();
+
+        CellResult& cell = cells[c * mapper_count + m];
+        cell.makespan = reporting.evaluate(result.mapping);
+        cell.baseline = baseline;
+        if (baseline > 0.0 && cell.makespan < baseline) {
+          cell.improvement = (baseline - cell.makespan) / baseline;
+        }
+        cell.seconds = seconds;
+      }
+    }
+  });
+  return cells;
+}
+
+Json point_to_json(const Scenario& scenario,
+                   const std::vector<CellResult>& cells) {
+  const std::size_t mapper_count = scenario.mappers.size();
+  const std::size_t reps = cells.size() / mapper_count;
+  Json mappers = Json::array();
+  for (std::size_t m = 0; m < mapper_count; ++m) {
+    Samples improvement, makespan, baseline, seconds;
+    for (std::size_t c = 0; c < reps; ++c) {
+      const CellResult& cell = cells[c * mapper_count + m];
+      improvement.add(cell.improvement);
+      makespan.add(cell.makespan);
+      baseline.add(cell.baseline);
+      seconds.add(cell.seconds);
+    }
+    double seconds_total = 0.0;
+    for (const double s : seconds.values()) seconds_total += s;
+
+    Json entry = Json::object();
+    entry.set("name", scenario.mappers[m].display);
+    entry.set("spec", scenario.mappers[m].spec);
+    entry.set("improvement_mean", improvement.mean());
+    entry.set("improvement_min", improvement.min());
+    entry.set("improvement_max", improvement.max());
+    entry.set("makespan_mean", makespan.mean());
+    entry.set("baseline_mean", baseline.mean());
+    entry.set("mapper_seconds_mean", seconds.mean());
+    entry.set("mapper_seconds_total", seconds_total);
+    mappers.push_back(std::move(entry));
+  }
+  Json point = Json::object();
+  point.set("mappers", std::move(mappers));
+  return point;
+}
+
+}  // namespace
+
+Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
+  require(!scenario.mappers.empty(), "run_scenario: no mappers");
+  // Touch the registry before the parallel region so its one-time
+  // initialization never races.
+  MapperRegistry::instance();
+  ThreadPool pool(options.threads);
+  Rng rng(scenario.seed);
+
+  std::vector<std::int64_t> points;
+  if (scenario.sweep.enabled()) {
+    points = scenario.sweep.values;
+  } else {
+    points.push_back(0);  // one unnamed point
+  }
+
+  Json results = Json::array();
+  for (const std::int64_t value : points) {
+    WorkloadSpec workload = scenario.workload;
+    if (scenario.sweep.enabled()) {
+      apply_sweep_value(workload, scenario.sweep.parameter, value);
+    }
+    // Graphs and rng streams are derived serially so the parallel phase is
+    // thread-count invariant.
+    std::vector<TaskGraph> cases;
+    cases.reserve(scenario.repetitions);
+    for (std::size_t r = 0; r < scenario.repetitions; ++r) {
+      cases.push_back(
+          materialize_workload(workload, rng, r, scenario.base_dir));
+    }
+    std::vector<Rng> rngs;
+    rngs.reserve(cases.size() * scenario.mappers.size());
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      for (std::size_t m = 0; m < scenario.mappers.size(); ++m) {
+        rngs.push_back(rng.split());
+      }
+    }
+    if (options.progress) {
+      if (scenario.sweep.enabled()) {
+        std::fprintf(stderr, "[%s] %s=%lld (%zu repetitions)...\n",
+                     scenario.name.empty() ? "sweep" : scenario.name.c_str(),
+                     scenario.sweep.parameter.c_str(),
+                     static_cast<long long>(value), cases.size());
+      } else {
+        std::fprintf(stderr, "[%s] %zu repetitions...\n",
+                     scenario.name.empty() ? "sweep" : scenario.name.c_str(),
+                     cases.size());
+      }
+    }
+    const std::vector<CellResult> cells =
+        run_point(scenario, cases, rngs, pool);
+    Json point = point_to_json(scenario, cells);
+    if (scenario.sweep.enabled()) {
+      // Prepend the sweep value so it leads the object.
+      Json ordered = Json::object();
+      ordered.set("sweep_value", value);
+      ordered.set("mappers", point.at("mappers"));
+      point = std::move(ordered);
+    }
+    results.push_back(std::move(point));
+  }
+
+  Json doc = Json::object();
+  doc.set("schema", "spmap-sweep-results/1");
+  doc.set("scenario", scenario.name);
+  if (!scenario.description.empty()) {
+    doc.set("description", scenario.description);
+  }
+  doc.set("platform", scenario.platform.name);
+  doc.set("workload", workload_to_json(scenario.workload));
+  doc.set("seed", scenario.seed);
+  doc.set("repetitions", scenario.repetitions);
+  doc.set("reporting_orders", scenario.reporting_orders);
+  doc.set("threads", pool.thread_count());
+  if (scenario.sweep.enabled()) {
+    doc.set("sweep_parameter", scenario.sweep.parameter);
+  }
+  doc.set("results", std::move(results));
+  return doc;
+}
+
+void print_sweep_tables(const Json& results, std::ostream& os) {
+  const std::string scenario = results.at("scenario").as_string();
+  const bool swept = results.contains("sweep_parameter");
+  const std::string x_name =
+      swept ? results.at("sweep_parameter").as_string() : std::string("point");
+  const Json::Array& points = results.at("results").as_array();
+  require(!points.empty(), "print_sweep_tables: empty results");
+
+  std::vector<std::string> header{x_name};
+  for (const Json& m : points.front().at("mappers").as_array()) {
+    header.push_back(m.at("name").as_string());
+  }
+
+  const auto emit = [&](const char* metric, const char* field, double scale,
+                        int precision) {
+    Table table(header);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Json& point = points[i];
+      std::vector<double> values;
+      for (const Json& m : point.at("mappers").as_array()) {
+        values.push_back(scale * m.at(field).as_double());
+      }
+      const double x = point.contains("sweep_value")
+                           ? static_cast<double>(point.at("sweep_value").as_int())
+                           : static_cast<double>(i);
+      table.add_row(x, values, precision);
+    }
+    os << "## " << scenario << ": " << metric << "\n";
+    table.write_tsv(os);
+    os << "\n";
+    table.write_aligned(os);
+    os << "\n";
+  };
+
+  emit("relative improvement (mean over repetitions)", "improvement_mean",
+       1.0, 4);
+  emit("mapper execution time [ms] (mean over repetitions)",
+       "mapper_seconds_mean", 1e3, 3);
+}
+
+Json run_report_write(const Scenario& scenario,
+                      const SweepRunOptions& options,
+                      const std::string& out_path, std::ostream& os) {
+  const Json results = run_scenario(scenario, options);
+  print_sweep_tables(results, os);
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    require(file.good(), "cannot open output file: " + out_path);
+    file << results.dump(2) << '\n';
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return results;
+}
+
+}  // namespace spmap

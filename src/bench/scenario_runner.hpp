@@ -1,0 +1,80 @@
+#pragma once
+/// \file scenario_runner.hpp
+/// Executes a parsed Scenario and emits a `spmap-sweep-results/1` document.
+///
+/// The runner follows the paper's experiment protocol (Section IV-A),
+/// exactly as the per-figure bench binaries always did:
+///  * mappers run against an *inner* evaluator (breadth-first schedule
+///    only — the linear-time cost function used during mapping);
+///  * reported makespans use the *reporting* evaluator: minimum over a
+///    breadth-first schedule and `reporting_orders` random schedules;
+///  * quality is the positive relative improvement over the all-CPU
+///    baseline (deteriorations count as zero);
+///  * mapper execution time is wall-clock and includes construction (e.g.
+///    the SP decomposition), matching the paper's end-to-end times.
+///
+/// Repetitions of one sweep point run in parallel on a ThreadPool
+/// (util/thread_pool.hpp): graphs and per-(repetition, mapper) rng streams
+/// are derived *serially* up front, then the pool's static partition
+/// assigns each repetition to exactly one worker with its own evaluators —
+/// so every quality/makespan number is **bit-identical for every thread
+/// count**. Only the wall-clock `mapper_seconds_*` fields vary run to run
+/// (and are noisier when workers contend for cores).
+///
+/// ## Thread-safety
+///
+/// `run_scenario` is internally parallel but a single-caller API: call it
+/// from one thread at a time. `print_sweep_tables` is a pure formatter.
+
+#include <iosfwd>
+
+#include "bench/scenario.hpp"
+#include "util/json.hpp"
+
+namespace spmap {
+
+struct SweepRunOptions {
+  /// Worker threads for parallel repetitions (1 = serial; results are
+  /// identical either way).
+  std::size_t threads = 1;
+  /// Per-point progress lines on stderr.
+  bool progress = true;
+};
+
+/// Runs the scenario and returns the results document
+/// (`"schema": "spmap-sweep-results/1"`; see docs/FORMATS.md):
+///   {
+///     "schema": "spmap-sweep-results/1",
+///     "scenario": ..., "platform": ..., "workload": {...},
+///     "seed": ..., "repetitions": ..., "reporting_orders": ...,
+///     "threads": ...,
+///     "sweep_parameter": "tasks",        // only when sweeping
+///     "results": [
+///       {"sweep_value": 5,               // only when sweeping
+///        "mappers": [
+///          {"name": "HEFT", "spec": "heft",
+///           "improvement_mean": ..., "improvement_min": ...,
+///           "improvement_max": ..., "makespan_mean": ...,
+///           "baseline_mean": ...,
+///           "mapper_seconds_mean": ..., "mapper_seconds_total": ...},
+///          ...]},
+///       ...]
+///   }
+Json run_scenario(const Scenario& scenario,
+                  const SweepRunOptions& options = {});
+
+/// Prints the classic bench output from a results document: one TSV block
+/// plus aligned table per metric (improvement, execution time), in the
+/// scenario's mapper order — the format the `bench_fig*` binaries have
+/// always emitted.
+void print_sweep_tables(const Json& results, std::ostream& os);
+
+/// The whole body of a ported `bench_fig*` binary after flag overrides:
+/// runs the scenario, prints the classic tables to `os`, and when
+/// `out_path` is non-empty writes the results document there (noting the
+/// path on stderr). Returns the results document.
+Json run_report_write(const Scenario& scenario,
+                      const SweepRunOptions& options,
+                      const std::string& out_path, std::ostream& os);
+
+}  // namespace spmap

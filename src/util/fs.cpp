@@ -1,0 +1,24 @@
+#include "util/fs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spmap {
+
+std::string read_text_file(const std::string& path, const std::string& what) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open " + what + ": " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string resolve_path(const std::string& base_dir,
+                         const std::string& path) {
+  if (path.empty() || path.front() == '/' || base_dir.empty()) return path;
+  return base_dir + "/" + path;
+}
+
+}  // namespace spmap

@@ -1,0 +1,23 @@
+#pragma once
+/// \file fs.hpp
+/// Small file helpers shared by the declarative-format loaders
+/// (platform / workload / scenario / graph files) and the CLI.
+
+#include <string>
+
+namespace spmap {
+
+/// Reads a whole file into a string. Throws spmap::Error
+/// "cannot open <what>: <path>" when the file cannot be opened; `what`
+/// names the role of the file in the caller's diagnostic ("scenario
+/// file", "input file", ...).
+std::string read_text_file(const std::string& path,
+                           const std::string& what = "file");
+
+/// Resolves `path` against `base_dir` unless it is absolute or either
+/// argument is empty — how scenario files reference their platform and
+/// workload files relative to their own directory.
+std::string resolve_path(const std::string& base_dir,
+                         const std::string& path);
+
+}  // namespace spmap

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -106,15 +107,26 @@ void escape_string(const std::string& s, std::string& out) {
 }
 
 void format_number(double d, std::string& out) {
+  char buf[32];
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Infinity token; null keeps the document parseable
+    // (matching JSON.stringify) instead of emitting 'nan'/'inf'.
+    out += "null";
+    return;
+  }
   if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
-    char buf[32];
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
     out += buf;
-  } else {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", d);
-    out += buf;
+    return;
   }
+  // Shortest representation that parses back to exactly `d`, so committed
+  // files stay human-readable (0.7, not 0.69999999999999996) without
+  // losing round-trip exactness.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out += buf;
 }
 
 }  // namespace
@@ -351,6 +363,28 @@ class Parser {
 
 Json Json::parse(const std::string& text) {
   return Parser(text).parse_document();
+}
+
+void Json::require_keys(const std::string& context,
+                        const std::vector<std::string>& accepted) const {
+  require(is_object(), context + ": expected a JSON object");
+  for (const auto& [key, value] : as_object()) {
+    bool known = false;
+    for (const std::string& a : accepted) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string message =
+        context + ": unknown key '" + key + "' (accepted keys: ";
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      if (i) message += ", ";
+      message += accepted[i];
+    }
+    throw Error(message + ")");
+  }
 }
 
 }  // namespace spmap

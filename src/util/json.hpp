@@ -69,6 +69,15 @@ class Json {
   /// Parses a JSON document. Throws spmap::Error on malformed input.
   static Json parse(const std::string& text);
 
+  /// Schema guard for the declarative formats (platform / workload /
+  /// scenario files): throws spmap::Error if this object contains a key not
+  /// in `accepted`, naming the offender and listing what is accepted —
+  /// mirroring the MapperRegistry option diagnostics, so typos in committed
+  /// experiment files fail loudly instead of being ignored. `context`
+  /// prefixes the message (e.g. "platform device").
+  void require_keys(const std::string& context,
+                    const std::vector<std::string>& accepted) const;
+
  private:
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
       value_;

@@ -8,8 +8,12 @@
 ///   map           Run a mapping algorithm and print mapping + makespan
 ///                 (+ optional Gantt chart / schedule JSON).
 ///   evaluate      Evaluate an explicit mapping.
+///   sweep         Run a declarative scenario file (platform + workload +
+///                 mapper line-up; see docs/FORMATS.md) and write a
+///                 machine-readable results file.
 ///   list-mappers  Print the MapperRegistry: every algorithm with its
-///                 description and default (paper) parameters.
+///                 description and default (paper) parameters
+///                 (--markdown emits the docs/README table).
 ///
 /// Mapping algorithms are resolved by name through the MapperRegistry;
 /// options ride along after a colon, e.g. `--mapper nsga:generations=50`.
@@ -21,6 +25,7 @@
 ///   spmap_cli map --in g.json --mapper spff --gantt
 ///   spmap_cli map --in g.json --mapper nsga:generations=50,pop=100
 ///   spmap_cli evaluate --in g.json --mapping 0,0,1,2,0,...
+///   spmap_cli sweep --scenario scenarios/examples/fig4_small.json --out r.json
 ///   spmap_cli list-mappers
 
 #include <cstdio>
@@ -28,6 +33,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench/scenario.hpp"
+#include "bench/scenario_runner.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -36,6 +43,7 @@
 #include "sp/decomposition_forest.hpp"
 #include "sp/subgraph_set.hpp"
 #include "util/flags.hpp"
+#include "util/fs.hpp"
 #include "util/table.hpp"
 #include "workflows/wfcommons.hpp"
 #include "workflows/workflows.hpp"
@@ -47,7 +55,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: spmap_cli "
-               "<generate|import|decompose|map|evaluate|list-mappers> "
+               "<generate|import|decompose|map|evaluate|sweep|list-mappers> "
                "[flags]\n"
                "  import       --wf FILE [--seed S] [--out FILE]   "
                "(WfCommons wfformat -> spmap JSON)\n"
@@ -59,17 +67,16 @@ int usage() {
                "[--seed S] [--gantt] [--schedule-json] [--random-orders N]\n"
                "  evaluate     --in FILE --mapping 0,1,2,... "
                "[--random-orders N]\n"
-               "  list-mappers [--verbose]   (all registered algorithm "
-               "names, descriptions, default parameters)\n");
+               "  sweep        --scenario FILE [--out FILE] [--threads N] "
+               "[--seed S] [--repetitions N] [--quiet]   (run a declarative "
+               "scenario; see docs/FORMATS.md)\n"
+               "  list-mappers [--verbose] [--markdown]   (all registered "
+               "algorithm names, descriptions, default parameters)\n");
   return 2;
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  require(in.good(), "cannot open input file: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  return read_text_file(path, "input file");
 }
 
 void write_output(const std::string& path, const std::string& content) {
@@ -156,8 +163,27 @@ int cmd_decompose(int argc, char** argv) {
   return 0;
 }
 
+/// Emits the mapper table as GitHub-flavored markdown. This output is the
+/// single source of the table committed at docs/mappers_table.md (and
+/// embedded in README.md / docs/MAPPERS.md); CI diffs the two, so the
+/// documentation cannot drift from the registry.
+int list_mappers_markdown() {
+  const MapperRegistry& registry = MapperRegistry::instance();
+  std::printf("| name | algorithm | sp-decomp | defaults | description |\n");
+  std::printf("|------|-----------|-----------|----------|-------------|\n");
+  for (const std::string& name : registry.names()) {
+    const MapperEntry& entry = registry.at(name);
+    std::printf("| %s | %s | %s | %s | %s |\n", entry.name.c_str(),
+                entry.display_name.c_str(),
+                entry.needs_sp_decomposition ? "yes" : "no",
+                entry.default_spec().c_str(), entry.description.c_str());
+  }
+  return 0;
+}
+
 int cmd_list_mappers(int argc, char** argv) {
-  const Flags flags(argc, argv, {"verbose"});
+  const Flags flags(argc, argv, {"verbose", "markdown"});
+  if (flags.get_bool("markdown", false)) return list_mappers_markdown();
   const MapperRegistry& registry = MapperRegistry::instance();
   Table table({"name", "algorithm", "sp-decomp", "defaults", "description"});
   for (const std::string& name : registry.names()) {
@@ -220,6 +246,38 @@ int cmd_map(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"scenario", "out", "threads", "seed", "repetitions",
+                     "quiet"});
+  const std::string path = flags.get("scenario", "");
+  require(!path.empty(), "sweep: --scenario FILE is required");
+  Scenario scenario = load_scenario_file(path);
+  if (flags.has("seed")) {
+    scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  }
+  if (flags.has("repetitions")) {
+    const auto reps = flags.get_int("repetitions", 1);
+    require(reps >= 1, "sweep: --repetitions must be >= 1");
+    scenario.repetitions = static_cast<std::size_t>(reps);
+  }
+  SweepRunOptions options;
+  const auto threads = flags.get_int("threads", 1);
+  require(threads >= 1, "sweep: --threads must be >= 1");
+  options.threads = static_cast<std::size_t>(threads);
+  options.progress = !flags.get_bool("quiet", false);
+
+  const std::string out = flags.get("out", "");
+  if (out.empty()) {
+    // No --out: the results document is the output (pipe-friendly).
+    const Json results = run_scenario(scenario, options);
+    write_output("", results.dump(2) + "\n");
+  } else {
+    run_report_write(scenario, options, out, std::cout);
+  }
+  return 0;
+}
+
 int cmd_evaluate(int argc, char** argv) {
   const Flags flags(argc, argv, {"in", "mapping", "random-orders"});
   const TaskGraph tg = task_graph_from_json(read_file(flags.get("in", "")));
@@ -260,6 +318,7 @@ int main(int argc, char** argv) {
     if (cmd == "decompose") return cmd_decompose(argc - 1, argv + 1);
     if (cmd == "map") return cmd_map(argc - 1, argv + 1);
     if (cmd == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
+    if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (cmd == "list-mappers") return cmd_list_mappers(argc - 1, argv + 1);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "spmap_cli: %s\n", ex.what());
