@@ -10,15 +10,19 @@
 #include "graph/generators.hpp"
 #include "model/platform.hpp"
 #include "sched/evaluator.hpp"
+#include "sched/incremental_evaluator.hpp"
 #include "sched/reference_evaluator.hpp"
 #include "sp/decomposition_forest.hpp"
 #include "sp/subgraph_set.hpp"
 #include "util/indexed_heap.hpp"
 #include "util/thread_pool.hpp"
+#include "wide_case.hpp"
 
 namespace {
 
 using namespace spmap;
+using benchcase::WideCase;
+using benchcase::random_moves;
 
 void BM_GenerateSpDag(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -107,6 +111,72 @@ void BM_EvaluateMakespanReference(benchmark::State& state) {
 BENCHMARK(BM_EvaluateMakespanReference)
     ->Range(16, 4096)
     ->Complexity(benchmark::oN);
+
+void BM_IncrementalReassign(benchmark::State& state) {
+  // One iteration = probe(random single-task reassignment) on the
+  // incremental engine — the trace-free local-search probe primitive — on
+  // the same (SP graph, reference platform, scattered mapping) case as
+  // BM_EvaluateMakespan. This configuration is queue- and link-saturated,
+  // so most probes genuinely reprice a large suffix; see the *Wide variants
+  // for the dependency-bound regime.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Dag dag = generate_sp_dag(n, rng);
+  const TaskAttrs attrs = random_task_attrs(dag, rng);
+  const Platform platform = reference_platform();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+  Mapping mapping(n, DeviceId(0u));
+  for (std::size_t i = 0; i < n; i += 4) {
+    mapping.device[i] = DeviceId(1u);
+  }
+  IncrementalEvaluator inc(eval);
+  inc.reset(mapping);
+  const auto moves = random_moves(1024, mapping, platform.device_count(), 12);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inc.probe(moves[i]));
+    i = (i + 1) & 1023;
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IncrementalReassign)->Range(16, 4096);
+
+void BM_EvaluateMakespanWide(benchmark::State& state) {
+  // Full flat evaluation of the wide-workflow many-core case — the
+  // denominator of the incremental speedup in that regime.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WideCase c(n, 8);
+  const CostModel cost(c.dag, c.attrs, c.platform);
+  const Evaluator eval(cost);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(c.mapping));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(c.dag.node_count()));
+}
+BENCHMARK(BM_EvaluateMakespanWide)->Range(256, 4096);
+
+void BM_IncrementalReassignWide(benchmark::State& state) {
+  // The probe primitive on the wide-workflow many-core case: perturbations
+  // are absorbed at joins and idle slots, so a probe re-prices
+  // only a short affected suffix (>= 5x faster than the full sweep at 4096
+  // tasks; recorded in BENCH_eval.json by bench_perf_report).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WideCase c(n, 8);
+  const CostModel cost(c.dag, c.attrs, c.platform);
+  const Evaluator eval(cost);
+  IncrementalEvaluator inc(eval);
+  inc.reset(c.mapping);
+  const auto moves =
+      random_moves(1024, c.mapping, c.platform.device_count(), 12);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inc.probe(moves[i]));
+    i = (i + 1) & 1023;
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(c.dag.node_count()));
+}
+BENCHMARK(BM_IncrementalReassignWide)->Range(256, 4096);
 
 void BM_EvaluateBatch(benchmark::State& state) {
   // args: nodes, worker threads. Batch of 64 candidate mappings per call —

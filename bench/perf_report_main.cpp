@@ -29,9 +29,27 @@
 ///        "speedup": reference / flat},    // the PR-over-PR headline
 ///       {"name": "evaluate_batch", "nodes": N, "batch": B, "threads": T,
 ///        "ns_per_eval": ..., "speedup_vs_serial": ...,
-///        "bit_identical_to_serial": true} // must always be true
+///        "bit_identical_to_serial": true},// must always be true
+///       {"name": "incremental_reassign", "config": "paper"|"wide_manycore",
+///        "nodes": N, "ns_per_full_eval": ..., "ns_per_reassign": ...,
+///        "speedup_vs_full_eval": ...,     // one probe vs one full sweep
+///        "avg_replayed_positions": ...},  // affected-suffix size actually
+///                                         // visited per reassignment
+///       {"name": "local_search", "mapper": "hillclimb:...", "nodes": N,
+///        "init_makespan": ..., "makespan": ...,
+///        "improvement_vs_init": ..., "seconds": ...}
 ///     ]
 ///   }
+///
+/// The `incremental_reassign` rows measure the local-search probe
+/// primitive (a trace-free probe() of one random single-task
+/// reassignment) of
+/// sched/incremental_evaluator.hpp in two regimes: "paper" is the
+/// saturated micro-bench configuration (SP graph, reference platform,
+/// scattered mapping), where most probes genuinely reprice a large suffix;
+/// "wide_manycore" is a 16-wide layered workflow on the many-core
+/// scale-out platform (model/platform.hpp), the dependency-bound regime
+/// the engine targets, where the affected suffix is short.
 
 #include <cstdio>
 #include <fstream>
@@ -40,13 +58,16 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "mappers/registry.hpp"
 #include "model/platform.hpp"
 #include "sched/evaluator.hpp"
+#include "sched/incremental_evaluator.hpp"
 #include "sched/reference_evaluator.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "wide_case.hpp"
 
 namespace {
 
@@ -82,6 +103,51 @@ double time_per_call(double min_seconds, Fn&& fn) {
     ++iterations;
   } while (timer.seconds() < min_seconds);
   return timer.seconds() / static_cast<double>(iterations);
+}
+
+/// One incremental-reassignment case: measures the trace-free probe()
+/// primitive against a full evaluation of the same configuration and
+/// appends an `incremental_reassign` row.
+void report_incremental(Json& results, const char* config, const Dag& dag,
+                        const TaskAttrs& attrs, const Platform& platform,
+                        const Mapping& mapping, double min_seconds) {
+  const std::size_t n = dag.node_count();
+  const CostModel cost(dag, attrs, platform);
+  const Evaluator eval(cost);
+  volatile double sink = 0.0;
+  const double full_s = time_per_call(
+      min_seconds, [&] { sink = sink + eval.evaluate(mapping); });
+
+  IncrementalEvaluator inc(eval);
+  inc.reset(mapping);
+  const std::vector<TaskReassignment> moves =
+      benchcase::random_moves(1024, mapping, platform.device_count(), 12);
+  std::size_t i = 0;
+  std::size_t replayed = 0;
+  std::size_t probes = 0;
+  volatile double probe_sink = 0.0;
+  const double inc_s = time_per_call(min_seconds, [&] {
+    probe_sink = probe_sink + inc.probe(moves[i]);
+    replayed += inc.last_replayed();
+    ++probes;
+    i = (i + 1) & 1023;
+  });
+
+  Json entry = Json::object();
+  entry.set("name", "incremental_reassign");
+  entry.set("config", config);
+  entry.set("nodes", n);
+  entry.set("ns_per_full_eval", full_s * 1e9);
+  entry.set("ns_per_reassign", inc_s * 1e9);
+  entry.set("speedup_vs_full_eval", full_s / inc_s);
+  entry.set("avg_replayed_positions",
+            static_cast<double>(replayed) / static_cast<double>(probes));
+  results.push_back(std::move(entry));
+
+  std::printf("incremental     n=%-5zu %-13s %10.0f ns/reassign  (full eval "
+              "%10.0f ns, speedup %.2fx, avg suffix %.0f)\n",
+              n, config, inc_s * 1e9, full_s * 1e9, full_s / inc_s,
+              static_cast<double>(replayed) / static_cast<double>(probes));
 }
 
 }  // namespace
@@ -186,6 +252,68 @@ int main(int argc, char** argv) {
                      threads);
         return 1;
       }
+    }
+  }
+
+  // ---- incremental reassignment probes (local-search primitive) ----
+  for (const std::int64_t size : sizes) {
+    const auto n = static_cast<std::size_t>(size);
+    // The saturated paper configuration of the micro-benchmarks.
+    Case c(n, seed);
+    report_incremental(results, "paper", c.dag, c.attrs, c.platform,
+                       c.mapping, min_seconds);
+    // The dependency-bound wide-workflow regime on the many-core node —
+    // the same shared case the micro-benchmarks measure.
+    benchcase::WideCase wide(n, seed);
+    report_incremental(results, "wide_manycore", wide.dag, wide.attrs,
+                       wide.platform, wide.mapping, min_seconds);
+  }
+
+  // ---- local-search refinement column (fig4-scale, seeded from HEFT) ----
+  {
+    const std::size_t ls_nodes = smoke ? 48 : 200;
+    Rng rng(seed + 7);
+    const Dag dag = generate_sp_dag(ls_nodes, rng);
+    const TaskAttrs attrs = random_task_attrs(dag, rng);
+    const Platform platform = reference_platform();
+    const CostModel cost(dag, attrs, platform);
+    const Evaluator eval(cost);
+
+    Rng init_rng(seed + 8);
+    const MapperResult init =
+        MapperRegistry::instance().create("heft", dag, init_rng)->map(eval);
+
+    const char* specs[] = {"hillclimb:init=heft,seed=5",
+                           "anneal:init=heft,seed=5",
+                           "tabu:init=heft,seed=5"};
+    for (const char* base : specs) {
+      const std::string spec =
+          std::string(base) + (smoke ? ",iters=200" : "");
+      Rng mapper_rng(seed + 9);
+      auto mapper = MapperRegistry::instance().create(spec, dag, mapper_rng);
+      WallTimer timer;
+      const MapperResult r = mapper->map(eval);
+      const double seconds = timer.seconds();
+
+      Json entry = Json::object();
+      entry.set("name", "local_search");
+      entry.set("mapper", spec);
+      entry.set("nodes", ls_nodes);
+      entry.set("init_makespan", init.predicted_makespan);
+      entry.set("makespan", r.predicted_makespan);
+      entry.set("improvement_vs_init",
+                (init.predicted_makespan - r.predicted_makespan) /
+                    init.predicted_makespan);
+      entry.set("seconds", seconds);
+      results.push_back(std::move(entry));
+
+      std::printf("local_search    n=%-5zu %-28s makespan %.4f (heft %.4f, "
+                  "%+.1f%%) in %.3fs\n",
+                  ls_nodes, spec.c_str(), r.predicted_makespan,
+                  init.predicted_makespan,
+                  100.0 * (init.predicted_makespan - r.predicted_makespan) /
+                      init.predicted_makespan,
+                  seconds);
     }
   }
 

@@ -21,6 +21,7 @@ void register_peft_mapper(MapperRegistry& registry);         // peft.cpp
 void register_decomposition_mappers(MapperRegistry& r);      // decomposition.cpp
 void register_nsga2_mapper(MapperRegistry& registry);        // nsga2.cpp
 void register_milp_mappers(MapperRegistry& registry);        // milp_mappers.cpp
+void register_local_search_mappers(MapperRegistry& r);       // local_search.cpp
 
 }  // namespace detail
 }  // namespace spmap

@@ -132,6 +132,7 @@ void MapperEntry::validate_options(const MapperOptions& opts) const {
                      ? " (it takes no options)"
                      : " (accepted: " + join(accepted, ", ") + ")"));
   }
+  if (validate_values) validate_values(opts);
 }
 
 std::string MapperEntry::default_spec() const {
@@ -156,6 +157,7 @@ MapperRegistry& MapperRegistry::instance() {
     detail::register_decomposition_mappers(*r);
     detail::register_nsga2_mapper(*r);
     detail::register_milp_mappers(*r);
+    detail::register_local_search_mappers(*r);
     return r;
   }();
   return *registry;

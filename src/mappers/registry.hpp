@@ -92,10 +92,17 @@ struct MapperEntry {
   /// rejected at construction time.
   std::vector<MapperOptionInfo> options;
   std::function<std::unique_ptr<Mapper>(const MapperContext&)> factory;
+  /// Optional option-*value* validator (ranges, cross-references such as a
+  /// nested mapper spec). Runs in create() before the factory and at
+  /// scenario parse time, so a bad value in a committed experiment file
+  /// fails eagerly with a diagnostic naming the accepted values instead of
+  /// mid-sweep. Must not construct the mapper.
+  std::function<void(const MapperOptions&)> validate_values;
 
   bool supports_option(const std::string& key) const;
   /// Throws spmap::Error if `options` contains a key this mapper does not
-  /// accept (listing what is accepted).
+  /// accept (listing what is accepted), or — when the entry installs a
+  /// `validate_values` hook — if an accepted key carries a bad value.
   void validate_options(const MapperOptions& options) const;
   /// "k=v,k=v" over all options with non-empty defaults ("-" if none).
   std::string default_spec() const;

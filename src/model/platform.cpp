@@ -146,4 +146,55 @@ Platform reference_platform() {
   return p;
 }
 
+Platform manycore_platform() {
+  Platform p;
+
+  // Dual-socket AMD Epyc 9654 class host: 2 x 96 cores, partitioned into 32
+  // six-core execution contexts so wide workflow stages overlap massively.
+  Device cpu;
+  cpu.name = "2x AMD Epyc 9654";
+  cpu.kind = DeviceKind::Cpu;
+  cpu.lanes = 192.0;
+  cpu.lane_gops = 2.4;
+  cpu.slots = 32;
+  cpu.idle_watts = 180.0;
+  cpu.active_watts = 720.0;
+  cpu.transfer_watts = 20.0;
+  const DeviceId cpu_id = p.add_device(cpu);
+
+  // Data-center GPU partitioned into 8 concurrent compute instances
+  // (MIG-style), each with the reference card's per-lane throughput.
+  Device gpu;
+  gpu.name = "MI210-class GPU (8 partitions)";
+  gpu.kind = DeviceKind::Gpu;
+  gpu.lanes = 8192.0;
+  gpu.lane_gops = 0.02;
+  gpu.slots = 8;
+  gpu.idle_watts = 60.0;
+  gpu.active_watts = 500.0;
+  gpu.transfer_watts = 25.0;
+  const DeviceId gpu_id = p.add_device(gpu);
+
+  // Large Alveo-class accelerator card: same dataflow model as the
+  // reference FPGA, roughly four times the fabric.
+  Device fpga;
+  fpga.name = "Alveo U280-class FPGA";
+  fpga.kind = DeviceKind::Fpga;
+  fpga.lanes = 1.0;
+  fpga.area_budget = 480.0;
+  fpga.stream_gops_per_streamability = 1.4;
+  fpga.stream_fill_fraction = 0.1;
+  fpga.idle_watts = 25.0;
+  fpga.active_watts = 100.0;
+  fpga.transfer_watts = 15.0;
+  const DeviceId fpga_id = p.add_device(fpga);
+
+  // PCIe gen4/gen5-class effective application bandwidths.
+  p.set_link(cpu_id, gpu_id, 12.0, 5e-5);
+  p.set_link(cpu_id, fpga_id, 6.0, 5e-5);
+  p.set_link(gpu_id, fpga_id, 3.0, 1e-4);  // routed via host
+  p.validate();
+  return p;
+}
+
 }  // namespace spmap

@@ -63,4 +63,13 @@ struct ReferenceDevices {
   DeviceId fpga{2};
 };
 
+/// A scaled-out "production node" variant of the evaluation platform: a
+/// many-core dual-socket host (32 execution slots), a partitioned
+/// data-center GPU (8 slots) and a large FPGA card, on faster PCIe links.
+/// Device order matches reference_platform(). Used by the wide-workflow
+/// benchmarks (bench_micro_core, bench_perf_report): schedules on this
+/// machine are dependency- rather than queue-bound, the regime where
+/// incremental delta-evaluation shines.
+Platform manycore_platform();
+
 }  // namespace spmap

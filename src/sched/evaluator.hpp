@@ -164,6 +164,10 @@ class Evaluator {
   const std::vector<std::vector<NodeId>>& orders() const { return orders_; }
 
  private:
+  /// The incremental delta-evaluation engine reuses the walk plans and the
+  /// flattened device/link tables (sched/incremental_evaluator.hpp).
+  friend class IncrementalEvaluator;
+
   /// One node of a walk plan: everything the sweep needs, in walk order.
   struct PlanNode {
     std::uint32_t node;         ///< node id (index into start/finish)

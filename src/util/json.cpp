@@ -114,6 +114,12 @@ void format_number(double d, std::string& out) {
     out += "null";
     return;
   }
+  if (d == 0.0 && std::signbit(d)) {
+    // The integral fast path below would print negative zero as "0" and
+    // lose the sign on a round trip; "-0" parses back to -0.0 exactly.
+    out += "-0";
+    return;
+  }
   if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
     out += buf;
@@ -348,11 +354,17 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("invalid number");
-    try {
-      return Json(std::stod(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("invalid number");
-    }
+    // strtod instead of std::stod: stod throws out_of_range whenever strtod
+    // reports ERANGE, which glibc also does for *subnormal* results — so a
+    // dumped denormal like 5e-324 would not parse back. Underflow to a
+    // subnormal (or to zero) is a valid parse; only overflow to infinity
+    // and trailing garbage are errors.
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(value)) fail("number out of range");
+    return Json(value);
   }
 
   const std::string& text_;

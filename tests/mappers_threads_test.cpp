@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/scenario.hpp"
 #include "graph/generators.hpp"
 #include "mappers/registry.hpp"
 #include "model/platform.hpp"
 #include "sched/evaluator.hpp"
+#include "workflows/workload_spec.hpp"
 
 namespace spmap {
 namespace {
@@ -68,6 +70,63 @@ TEST(MapperThreads, SpFirstFitInvariant) {
 
 TEST(MapperThreads, LookaheadHeftInvariant) {
   expect_thread_invariant("laheft", 306);
+}
+
+TEST(MapperThreads, HillClimbInvariant) {
+  expect_thread_invariant("hillclimb:init=heft,iters=400,restarts=4,seed=9",
+                          307);
+}
+
+TEST(MapperThreads, AnnealInvariant) {
+  expect_thread_invariant("anneal:init=heft,iters=400,restarts=4,seed=9",
+                          308);
+}
+
+TEST(MapperThreads, TabuInvariant) {
+  expect_thread_invariant("tabu:init=heft,iters=400,restarts=4,seed=9", 309);
+}
+
+// The committed fig4 local-search scenario's own mapper specs must be
+// thread-count invariant: every spec of the line-up, run with threads=1 and
+// threads=4 on a graph materialized from the scenario's workload, produces
+// identical mappings and makespans.
+TEST(MapperThreads, CommittedLocalSearchScenarioInvariant) {
+  const Scenario scenario =
+      load_scenario_file(std::string(SPMAP_SCENARIO_DIR) +
+                         "/fig4_local_search.json");
+  Rng workload_rng(scenario.seed);
+  const TaskGraph tg =
+      materialize_workload(scenario.workload, workload_rng, 0);
+  const Platform platform = reference_platform();
+  const CostModel cost(tg.dag, tg.attrs, platform);
+  const Evaluator eval(cost);
+
+  for (const ScenarioMapper& m : scenario.mappers) {
+    const auto [name, options] = MapperRegistry::split_spec(m.spec);
+    if (!MapperRegistry::instance().at(name).supports_option("threads")) {
+      continue;  // the plain HEFT baseline has no parallel path
+    }
+    const char* const sep =
+        m.spec.find(':') == std::string::npos ? ":" : ",";
+    MapperResult serial;
+    MapperResult parallel;
+    {
+      Rng rng(7);
+      auto mapper = MapperRegistry::instance().create(
+          m.spec + sep + "threads=1", tg.dag, rng);
+      serial = mapper->map(eval);
+    }
+    {
+      Rng rng(7);
+      auto mapper = MapperRegistry::instance().create(
+          m.spec + sep + "threads=4", tg.dag, rng);
+      parallel = mapper->map(eval);
+    }
+    EXPECT_EQ(serial.mapping, parallel.mapping) << m.spec;
+    EXPECT_EQ(serial.predicted_makespan, parallel.predicted_makespan)
+        << m.spec;
+    EXPECT_EQ(serial.evaluations, parallel.evaluations) << m.spec;
+  }
 }
 
 }  // namespace

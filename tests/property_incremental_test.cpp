@@ -1,0 +1,162 @@
+/// Differential property sweep for the incremental delta-evaluation engine:
+/// on random (SP and almost-SP) graphs, random reassignment sequences with
+/// interleaved undos must keep IncrementalEvaluator, the flat Evaluator and
+/// the naive ReferenceEvaluator in exact agreement — makespans, per-task
+/// times and area-feasibility verdicts — after every single apply/undo.
+/// Well over 1000 randomized cases run across the parameter grid (a case =
+/// one apply or undo followed by the three-way comparison).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/platform.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/incremental_evaluator.hpp"
+#include "sched/reference_evaluator.hpp"
+
+namespace spmap {
+namespace {
+
+struct IncCase {
+  std::size_t nodes;
+  std::size_t extra_edges;
+  std::size_t moves;
+  std::uint64_t seed;
+};
+
+class IncrementalProperty : public ::testing::TestWithParam<IncCase> {
+ protected:
+  IncrementalProperty()
+      : rng_(GetParam().seed), platform_(reference_platform()) {
+    Dag base = generate_sp_dag(GetParam().nodes, rng_);
+    dag_ = add_random_edges(base, GetParam().extra_edges, rng_);
+    attrs_ = random_task_attrs(dag_, rng_);
+    cost_.emplace(dag_, attrs_, platform_);
+    eval_.emplace(*cost_);  // one (breadth-first) order: the bound order
+    ref_.emplace(*cost_);
+  }
+
+  /// The three-way agreement that must hold after every state change.
+  void expect_agreement(const IncrementalEvaluator& inc,
+                        const Mapping& expected_mapping) {
+    ASSERT_EQ(inc.mapping(), expected_mapping);
+    const double flat = eval_->evaluate_order(expected_mapping, inc.order());
+    const double naive = ref_->evaluate_order(expected_mapping, inc.order());
+    EXPECT_EQ(inc.order_makespan(), flat);
+    EXPECT_EQ(inc.order_makespan(), naive);
+    // Per-task times, not just the max: the convenience overload above
+    // leaves them in the evaluator scratch.
+    const auto& start = eval_->last_start_times();
+    const auto& finish = eval_->last_finish_times();
+    for (std::size_t v = 0; v < expected_mapping.size(); ++v) {
+      ASSERT_EQ(inc.start_times()[v], start[v]) << "node " << v;
+      ASSERT_EQ(inc.finish_times()[v], finish[v]) << "node " << v;
+    }
+    // Feasibility-aware makespan matches the full evaluator verdict.
+    EXPECT_EQ(inc.makespan(), eval_->evaluate(expected_mapping));
+    EXPECT_EQ(inc.feasible(), cost_->area_feasible(expected_mapping));
+  }
+
+  Rng rng_;
+  Platform platform_;
+  Dag dag_;
+  TaskAttrs attrs_;
+  std::optional<CostModel> cost_;
+  std::optional<Evaluator> eval_;
+  std::optional<ReferenceEvaluator> ref_;
+};
+
+TEST_P(IncrementalProperty, RandomWalkAgreesAfterEveryApplyAndUndo) {
+  IncrementalEvaluator inc(*eval_);
+  Mapping current = random_feasible_mapping(*cost_, rng_);
+  inc.reset(current);
+  expect_agreement(inc, current);
+
+  // History of mappings for undo verification; history.back() == current.
+  std::vector<Mapping> history{current};
+  for (std::size_t i = 0; i < GetParam().moves; ++i) {
+    const bool do_undo = inc.depth() > 0 && rng_.chance(0.3);
+    if (do_undo) {
+      inc.undo();
+      history.pop_back();
+    } else {
+      const NodeId node(static_cast<std::uint32_t>(rng_.below(dag_.node_count())));
+      const DeviceId device(
+          static_cast<std::uint32_t>(rng_.below(platform_.device_count())));
+      inc.apply({node, device});
+      Mapping next = history.back();
+      next[node] = device;
+      history.push_back(std::move(next));
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_agreement(inc, history.back()));
+    // Probe from this (arbitrarily mutated) state too: trace-free probing
+    // must agree with the full evaluator and leave no mark.
+    if (rng_.chance(0.5)) {
+      const NodeId node(static_cast<std::uint32_t>(rng_.below(dag_.node_count())));
+      const DeviceId device(
+          static_cast<std::uint32_t>(rng_.below(platform_.device_count())));
+      Mapping probed = history.back();
+      probed[node] = device;
+      EXPECT_EQ(inc.probe({node, device}), eval_->evaluate(probed));
+      ASSERT_NO_FATAL_FAILURE(expect_agreement(inc, history.back()));
+    }
+  }
+  // Unwind everything: the initial state must come back exactly.
+  while (inc.depth() > 0) {
+    inc.undo();
+    history.pop_back();
+  }
+  ASSERT_EQ(history.size(), 1u);
+  expect_agreement(inc, history.front());
+}
+
+TEST_P(IncrementalProperty, ProbeLeavesStateUntouched) {
+  IncrementalEvaluator inc(*eval_);
+  const Mapping mapping = random_feasible_mapping(*cost_, rng_);
+  inc.reset(mapping);
+  const double before = inc.makespan();
+  for (std::size_t i = 0; i < 25; ++i) {
+    const NodeId node(static_cast<std::uint32_t>(rng_.below(dag_.node_count())));
+    const DeviceId device(
+        static_cast<std::uint32_t>(rng_.below(platform_.device_count())));
+    Mapping probed = mapping;
+    probed[node] = device;
+    EXPECT_EQ(inc.probe({node, device}), eval_->evaluate(probed));
+    EXPECT_EQ(inc.depth(), 0u);
+    EXPECT_EQ(inc.makespan(), before);
+    EXPECT_EQ(inc.mapping(), mapping);
+  }
+}
+
+TEST_P(IncrementalProperty, CommitKeepsStateAndClearsHistory) {
+  IncrementalEvaluator inc(*eval_);
+  Mapping current = random_feasible_mapping(*cost_, rng_);
+  inc.reset(current);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const NodeId node(static_cast<std::uint32_t>(rng_.below(dag_.node_count())));
+    const DeviceId device(
+        static_cast<std::uint32_t>(rng_.below(platform_.device_count())));
+    inc.apply({node, device});
+    current[node] = device;
+  }
+  inc.commit();
+  EXPECT_EQ(inc.depth(), 0u);
+  expect_agreement(inc, current);
+  EXPECT_THROW(inc.undo(), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IncrementalProperty,
+    ::testing::Values(IncCase{2, 0, 30, 41}, IncCase{8, 0, 60, 42},
+                      IncCase{8, 4, 60, 43}, IncCase{25, 0, 80, 44},
+                      IncCase{25, 12, 80, 45}, IncCase{60, 0, 120, 46},
+                      IncCase{60, 30, 120, 47}, IncCase{120, 60, 160, 48},
+                      IncCase{250, 50, 200, 49}, IncCase{500, 0, 220, 50}),
+    [](const ::testing::TestParamInfo<IncCase>& info) {
+      return "n" + std::to_string(info.param.nodes) + "_e" +
+             std::to_string(info.param.extra_edges) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace spmap

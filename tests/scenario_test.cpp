@@ -158,6 +158,94 @@ TEST(Scenario, MapperTypoFailsAtParseTime) {
   EXPECT_THROW(scenario_from_json(doc2), Error);
 }
 
+TEST(Scenario, MalformedMapperOptionValuesFailAtParseTime) {
+  // Option *values* are validated eagerly too (MapperEntry::validate_values):
+  // a committed scenario with a nonsense local-search budget fails at load
+  // time with a diagnostic naming the accepted values.
+  Json doc = small_scenario_doc();
+  Json mappers = Json::array();
+  mappers.push_back("anneal:iters=-1");
+  doc.set("mappers", std::move(mappers));
+  try {
+    scenario_from_json(doc);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("iters"), std::string::npos) << what;
+    EXPECT_NE(what.find(">= 0"), std::string::npos)
+        << "error should name the accepted values: " << what;
+  }
+
+  // An unknown init= mapper fails eagerly, listing the known mappers.
+  Json doc2 = small_scenario_doc();
+  Json mappers2 = Json::array();
+  mappers2.push_back("hillclimb:init=hefty");
+  doc2.set("mappers", std::move(mappers2));
+  try {
+    scenario_from_json(doc2);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("hefty"), std::string::npos) << what;
+    EXPECT_NE(what.find("heft"), std::string::npos)
+        << "error should list known mappers: " << what;
+  }
+
+  // An unknown option key inside the nested init spec is caught eagerly as
+  // well, listing what the nested mapper accepts.
+  Json doc3 = small_scenario_doc();
+  Json mappers3 = Json::array();
+  mappers3.push_back("tabu:init=nsga:gens=5");
+  doc3.set("mappers", std::move(mappers3));
+  try {
+    scenario_from_json(doc3);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gens"), std::string::npos) << what;
+    EXPECT_NE(what.find("generations"), std::string::npos)
+        << "error should list the nested mapper's options: " << what;
+  }
+}
+
+TEST(Scenario, UnknownSweepKeysFailListingAccepted) {
+  // Unknown keys inside the sweep object name what is accepted.
+  Json doc = small_scenario_doc();
+  Json sweep = Json::object();
+  sweep.set("parameter", "tasks");
+  Json values = Json::array();
+  values.push_back(6);
+  sweep.set("values", std::move(values));
+  sweep.set("step", 5);
+  doc.set("sweep", std::move(sweep));
+  try {
+    scenario_from_json(doc);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("step"), std::string::npos) << what;
+    EXPECT_NE(what.find("parameter"), std::string::npos)
+        << "error should list accepted sweep keys: " << what;
+    EXPECT_NE(what.find("values"), std::string::npos) << what;
+  }
+
+  // An unknown sweep *parameter* names the sweepable parameters.
+  Json doc2 = small_scenario_doc();
+  Json sweep2 = Json::object();
+  sweep2.set("parameter", "taskss");
+  Json values2 = Json::array();
+  values2.push_back(6);
+  sweep2.set("values", std::move(values2));
+  doc2.set("sweep", std::move(sweep2));
+  try {
+    scenario_from_json(doc2);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("tasks"), std::string::npos)
+        << "error should list sweepable parameters: " << e.what();
+  }
+}
+
 TEST(Scenario, SweepParameterMismatchFailsAtParseTime) {
   Json doc = small_scenario_doc();
   Json sweep = Json::object();
@@ -171,8 +259,9 @@ TEST(Scenario, SweepParameterMismatchFailsAtParseTime) {
 
 TEST(Scenario, CommittedScenarioFilesLoadAndRoundTrip) {
   for (const char* file :
-       {"/fig4_list_scheduling.json", "/fig7_almost_sp.json",
-        "/examples/fig4_small.json", "/examples/montage_small.json"}) {
+       {"/fig4_list_scheduling.json", "/fig4_local_search.json",
+        "/fig7_almost_sp.json", "/examples/fig4_small.json",
+        "/examples/montage_small.json"}) {
     const Scenario s = load_scenario_file(scenario_dir() + file);
     EXPECT_FALSE(s.name.empty()) << file;
     EXPECT_FALSE(s.mappers.empty()) << file;

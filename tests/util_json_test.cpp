@@ -1,5 +1,8 @@
 #include "util/json.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
@@ -78,6 +81,57 @@ TEST(Json, ParseErrors) {
   EXPECT_THROW(Json::parse("tru"), Error);
   EXPECT_THROW(Json::parse("{} extra"), Error);
   EXPECT_THROW(Json::parse("\"unterminated"), Error);
+}
+
+TEST(Json, NegativeZeroRoundTrips) {
+  // Regression: the integral fast path printed -0.0 as "0", losing the
+  // sign bit on a round trip.
+  const Json neg(-0.0);
+  EXPECT_EQ(neg.dump(), "-0");
+  const Json back = Json::parse(neg.dump());
+  EXPECT_EQ(back.as_double(), 0.0);
+  EXPECT_TRUE(std::signbit(back.as_double()));
+  EXPECT_EQ(back.dump(), neg.dump());  // idempotent
+  // Positive zero is unaffected.
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  EXPECT_FALSE(std::signbit(Json::parse("0").as_double()));
+}
+
+TEST(Json, SubnormalsRoundTrip) {
+  // Regression: std::stod throws out_of_range on glibc's ERANGE for
+  // subnormal results, so a dumped denormal could not be parsed back.
+  const double denorm_min = std::numeric_limits<double>::denorm_min();
+  const double subnormal = 3.1234e-310;  // between denorm_min and DBL_MIN
+  for (const double d : {denorm_min, -denorm_min, subnormal, -subnormal}) {
+    const std::string text = Json(d).dump();
+    const Json back = Json::parse(text);
+    EXPECT_EQ(back.as_double(), d) << text;
+    EXPECT_EQ(back.dump(), text) << "dump must be idempotent";
+  }
+  EXPECT_EQ(Json::parse("5e-324").as_double(), denorm_min);
+  // Underflow below the smallest subnormal parses as (signed) zero, the
+  // nearest double — not an error.
+  EXPECT_EQ(Json::parse("1e-999").as_double(), 0.0);
+  EXPECT_TRUE(std::signbit(Json::parse("-1e-999").as_double()));
+}
+
+TEST(Json, HugeMagnitudesRoundTrip) {
+  const double dbl_max = std::numeric_limits<double>::max();
+  const double dbl_min_normal = std::numeric_limits<double>::min();
+  for (const double d : {1e308, -1e308, dbl_max, -dbl_max, 1e-308, -1e-308,
+                         dbl_min_normal, -dbl_min_normal}) {
+    const std::string text = Json(d).dump();
+    const Json back = Json::parse(text);
+    EXPECT_EQ(back.as_double(), d) << text;
+    EXPECT_EQ(back.dump(), text) << "dump must be idempotent";
+  }
+  // Values beyond the double range overflow to infinity: a parse error,
+  // because dumped documents never contain them (non-finite prints null).
+  EXPECT_THROW(Json::parse("1e999"), Error);
+  EXPECT_THROW(Json::parse("-1e999"), Error);
+  // Non-finite values keep printing as null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
 }
 
 TEST(Json, PrettyDumpParses) {
