@@ -4,13 +4,9 @@
 #include <fstream>
 #include <ostream>
 
-#include "mappers/registry.hpp"
-#include "model/cost_model.hpp"
-#include "sched/evaluator.hpp"
+#include "serve/mapping_service.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace spmap {
 
@@ -24,47 +20,72 @@ struct CellResult {
   double seconds = 0.0;
 };
 
-/// Runs one sweep point: `cases` repetitions of every mapper, repetitions
-/// parallelized over the pool's static partition (bit-identical results
-/// for every thread count; see the header contract).
+/// Runs one sweep point: every (repetition, mapper) pair becomes one
+/// MappingService job, submitted FIFO with its pre-derived construction
+/// rng and collected in submission order — so the numbers are
+/// bit-identical for every worker count (see the header contract).
 std::vector<CellResult> run_point(const Scenario& scenario,
-                                  const std::vector<TaskGraph>& cases,
+                                  const std::vector<std::shared_ptr<const TaskGraph>>& cases,
                                   const std::vector<Rng>& rngs,
-                                  ThreadPool& pool) {
+                                  const std::shared_ptr<const Platform>& platform,
+                                  MappingService& service, bool log_jobs) {
   const std::size_t mapper_count = scenario.mappers.size();
-  std::vector<CellResult> cells(cases.size() * mapper_count);
-  const MapperRegistry& registry = MapperRegistry::instance();
-
-  pool.parallel_for(cases.size(), [&](std::size_t begin, std::size_t end,
-                                      std::size_t /*worker*/) {
-    for (std::size_t c = begin; c < end; ++c) {
-      const TaskGraph& tg = cases[c];
-      const CostModel cost(tg.dag, tg.attrs, scenario.platform.platform);
-      // Inner evaluator: the linear-time cost function used while mapping.
-      const Evaluator inner(cost, {.random_orders = 0});
-      // Reporting evaluator: min over BFS + random schedules (Sec. IV-A).
-      const Evaluator reporting(cost,
-                                {.random_orders = scenario.reporting_orders});
-      const double baseline = reporting.default_mapping_makespan();
-
-      for (std::size_t m = 0; m < mapper_count; ++m) {
-        Rng mapper_rng = rngs[c * mapper_count + m];
-        WallTimer timer;
-        auto mapper =
-            registry.create(scenario.mappers[m].spec, tg.dag, mapper_rng);
-        const MapperResult result = mapper->map(inner);
-        const double seconds = timer.seconds();
-
-        CellResult& cell = cells[c * mapper_count + m];
-        cell.makespan = reporting.evaluate(result.mapping);
-        cell.baseline = baseline;
-        if (baseline > 0.0 && cell.makespan < baseline) {
-          cell.improvement = (baseline - cell.makespan) / baseline;
-        }
-        cell.seconds = seconds;
+  std::vector<MappingService::JobHandle> handles;
+  handles.reserve(cases.size() * mapper_count);
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    // One reporting context per repetition, shared by the whole mapper
+    // line-up: min over BFS + random schedules (Sec. IV-A) plus the
+    // all-CPU baseline, built once instead of per job.
+    const auto reporting = std::make_shared<const ReportingContext>(
+        cases[c], platform, scenario.reporting_orders);
+    for (std::size_t m = 0; m < mapper_count; ++m) {
+      MapJob job;
+      job.mapper_spec = scenario.mappers[m].spec;
+      job.graph = cases[c];
+      job.platform = platform;
+      // Inner evaluator: BFS only (the linear-time mapping cost function).
+      job.inner_orders = 0;
+      job.reporting = reporting;
+      job.construction_rng = rngs[c * mapper_count + m];
+      handles.push_back(service.submit(std::move(job)));
+      if (log_jobs) {
+        std::fprintf(stderr,
+                     "[serve] job %llu queued: mapper=%s repetition=%zu\n",
+                     static_cast<unsigned long long>(handles.back().id()),
+                     scenario.mappers[m].spec.c_str(), c);
       }
     }
-  });
+  }
+
+  std::vector<CellResult> cells(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const MapJobResult& result = handles[i].wait();
+    if (!result.error.empty()) {
+      // Fail fast: cancel everything outstanding so the service's
+      // drain-on-destruction does not run the rest of a doomed sweep.
+      for (const auto& handle : handles) handle.cancel();
+      throw Error("scenario job '" +
+                  scenario.mappers[i % mapper_count].spec +
+                  "' failed: " + result.error);
+    }
+    CellResult& cell = cells[i];
+    cell.makespan = result.reported_makespan;
+    cell.baseline = result.baseline_makespan;
+    if (cell.baseline > 0.0 && cell.makespan < cell.baseline) {
+      cell.improvement = (cell.baseline - cell.makespan) / cell.baseline;
+    }
+    cell.seconds = result.wall_seconds;
+    if (log_jobs) {
+      std::fprintf(
+          stderr,
+          "[serve] job %llu %s: mapper=%s makespan=%.6f "
+          "termination=%s wall_ms=%.3f\n",
+          static_cast<unsigned long long>(handles[i].id()),
+          to_string(handles[i].status()),
+          scenario.mappers[i % mapper_count].spec.c_str(), cell.makespan,
+          to_string(result.report.termination), 1e3 * cell.seconds);
+    }
+  }
   return cells;
 }
 
@@ -106,10 +127,9 @@ Json point_to_json(const Scenario& scenario,
 
 Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
   require(!scenario.mappers.empty(), "run_scenario: no mappers");
-  // Touch the registry before the parallel region so its one-time
-  // initialization never races.
-  MapperRegistry::instance();
-  ThreadPool pool(options.threads);
+  MappingService service({.workers = options.threads});
+  const auto platform =
+      std::make_shared<const Platform>(scenario.platform.platform);
   Rng rng(scenario.seed);
 
   std::vector<std::int64_t> points;
@@ -125,13 +145,13 @@ Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
     if (scenario.sweep.enabled()) {
       apply_sweep_value(workload, scenario.sweep.parameter, value);
     }
-    // Graphs and rng streams are derived serially so the parallel phase is
-    // thread-count invariant.
-    std::vector<TaskGraph> cases;
+    // Graphs and rng streams are derived serially so the job phase is
+    // worker-count invariant.
+    std::vector<std::shared_ptr<const TaskGraph>> cases;
     cases.reserve(scenario.repetitions);
     for (std::size_t r = 0; r < scenario.repetitions; ++r) {
-      cases.push_back(
-          materialize_workload(workload, rng, r, scenario.base_dir));
+      cases.push_back(std::make_shared<const TaskGraph>(
+          materialize_workload(workload, rng, r, scenario.base_dir)));
     }
     std::vector<Rng> rngs;
     rngs.reserve(cases.size() * scenario.mappers.size());
@@ -152,8 +172,8 @@ Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
                      cases.size());
       }
     }
-    const std::vector<CellResult> cells =
-        run_point(scenario, cases, rngs, pool);
+    const std::vector<CellResult> cells = run_point(
+        scenario, cases, rngs, platform, service, options.log_jobs);
     Json point = point_to_json(scenario, cells);
     if (scenario.sweep.enabled()) {
       // Prepend the sweep value so it leads the object.
@@ -176,7 +196,7 @@ Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
   doc.set("seed", scenario.seed);
   doc.set("repetitions", scenario.repetitions);
   doc.set("reporting_orders", scenario.reporting_orders);
-  doc.set("threads", pool.thread_count());
+  doc.set("threads", service.worker_count());
   if (scenario.sweep.enabled()) {
     doc.set("sweep_parameter", scenario.sweep.parameter);
   }

@@ -13,13 +13,15 @@
 ///  * mapper execution time is wall-clock and includes construction (e.g.
 ///    the SP decomposition), matching the paper's end-to-end times.
 ///
-/// Repetitions of one sweep point run in parallel on a ThreadPool
-/// (util/thread_pool.hpp): graphs and per-(repetition, mapper) rng streams
-/// are derived *serially* up front, then the pool's static partition
-/// assigns each repetition to exactly one worker with its own evaluators —
-/// so every quality/makespan number is **bit-identical for every thread
-/// count**. Only the wall-clock `mapper_seconds_*` fields vary run to run
-/// (and are noisier when workers contend for cores).
+/// The runner drives the async job layer (serve/mapping_service.hpp):
+/// every (repetition, mapper) pair is one MappingService job. Graphs and
+/// per-job construction rng streams are derived *serially* up front and
+/// submitted FIFO, results are collected in submission order, and each job
+/// builds its own evaluators — so every quality/makespan number is
+/// **bit-identical for every worker count**, including the serial path the
+/// per-figure binaries always produced. Only the wall-clock
+/// `mapper_seconds_*` fields vary run to run (and are noisier when workers
+/// contend for cores).
 ///
 /// ## Thread-safety
 ///
@@ -34,11 +36,14 @@
 namespace spmap {
 
 struct SweepRunOptions {
-  /// Worker threads for parallel repetitions (1 = serial; results are
-  /// identical either way).
+  /// MappingService workers running the per-(repetition, mapper) jobs
+  /// (1 = serial; results are identical either way).
   std::size_t threads = 1;
   /// Per-point progress lines on stderr.
   bool progress = true;
+  /// Per-job lifecycle lines on stderr ("[serve] job 3 done: ..."), the
+  /// `spmap_cli serve` view of the run.
+  bool log_jobs = false;
 };
 
 /// Runs the scenario and returns the results document

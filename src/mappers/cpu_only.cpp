@@ -5,13 +5,19 @@
 
 namespace spmap {
 
-MapperResult CpuOnlyMapper::map(const Evaluator& eval) {
-  MapperResult result;
-  result.mapping = eval.default_mapping();
+MapReport CpuOnlyMapper::map(const Evaluator& eval,
+                             const MapRequest& request) {
+  // The default mapping IS the incumbent, so there is nothing a budget or
+  // cancellation could truncate: the run always converges.
+  RunControl control(request);
+  MapReport report;
+  report.mapping = eval.default_mapping();
   const std::size_t before = eval.evaluation_count();
-  result.predicted_makespan = eval.evaluate(result.mapping);
-  result.evaluations = eval.evaluation_count() - before;
-  return result;
+  report.predicted_makespan = eval.evaluate(report.mapping);
+  report.evaluations = eval.evaluation_count() - before;
+  control.record_incumbent(report.predicted_makespan, 0);
+  control.finalize(report);
+  return report;
 }
 
 void detail::register_cpu_only_mapper(MapperRegistry& registry) {

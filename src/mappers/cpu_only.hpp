@@ -9,8 +9,9 @@ namespace spmap {
 
 class CpuOnlyMapper final : public Mapper {
  public:
+  using Mapper::map;
   std::string name() const override { return "CpuOnly"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 };
 
 }  // namespace spmap

@@ -70,11 +70,13 @@ struct OpTable {
 /// in chunks (parallel across `pool`'s workers). The ascending consume
 /// order makes the caller's running-best selection identical to the serial
 /// apply/evaluate/revert loop; the batch itself is bit-identical for every
-/// thread count.
+/// thread count. Deadline/cancellation interrupts (`control.interrupted()`)
+/// truncate the scan at the next op; the caller then acts on whatever
+/// prefix was priced.
 template <typename Consume>
 void sweep_frontier(const OpTable& ops, const Mapping& mapping,
                     const Evaluator& eval, ThreadPool* pool,
-                    Consume&& consume) {
+                    const RunControl& control, Consume&& consume) {
   std::vector<std::size_t> op_of;
   std::vector<Mapping> candidates;
   op_of.reserve(kBatchChunk);
@@ -89,6 +91,7 @@ void sweep_frontier(const OpTable& ops, const Mapping& mapping,
     candidates.clear();
   };
   for (std::size_t op = 0; op < ops.count(); ++op) {
+    if (control.interrupted()) break;
     if (ops.is_noop(op, mapping)) continue;
     candidates.push_back(mapping);
     ops.apply(op, candidates.back());
@@ -110,22 +113,28 @@ DecompositionMapper::DecompositionMapper(std::string name,
           "DecompositionMapper: empty subgraph set");
 }
 
-MapperResult DecompositionMapper::map(const Evaluator& eval) {
-  return params_.variant == DecompositionVariant::Basic ? map_basic(eval)
-                                                        : map_threshold(eval);
+MapReport DecompositionMapper::map(const Evaluator& eval,
+                                   const MapRequest& request) {
+  RunControl control(request);
+  MapReport report = params_.variant == DecompositionVariant::Basic
+                         ? map_basic(eval, control)
+                         : map_threshold(eval, control);
+  control.record_incumbent(report.predicted_makespan, report.iterations);
+  control.finalize(report);
+  return report;
 }
 
-MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
+MapReport DecompositionMapper::map_basic(const Evaluator& eval,
+                                         RunControl& control) const {
   const std::size_t evals_before = eval.evaluation_count();
   const OpTable ops{&subgraphs_, eval.cost().platform().device_count()};
   const auto objective = [&](const Mapping& m) {
     return params_.objective ? params_.objective(eval, m) : eval.evaluate(m);
   };
   // A custom objective cannot go through the makespan batch API.
-  std::unique_ptr<ThreadPool> pool;
-  if (params_.threads > 1 && !params_.objective) {
-    pool = std::make_unique<ThreadPool>(params_.threads);
-  }
+  const PoolLease lease(control.request(),
+                        params_.objective ? 1 : params_.threads);
+  ThreadPool* pool = params_.objective ? nullptr : lease.get();
 
   Mapping mapping = eval.default_mapping();
   double current = objective(mapping);
@@ -133,9 +142,17 @@ MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
                               ? params_.max_iterations
                               : std::max<std::size_t>(16, 2 * mapping.size());
 
+  // Budgets are checked between improvement iterations (a sweep prices up
+  // to ops.count() candidates at once); deadline/cancellation truncate the
+  // candidate scans themselves.
   std::size_t iterations = 0;
+  bool converged = false;
   std::vector<DeviceId> undo;
   while (iterations < cap) {
+    if (control.should_stop(iterations,
+                            eval.evaluation_count() - evals_before)) {
+      break;
+    }
     std::size_t best_op = ops.count();
     double best_makespan = current;
     auto keep_best = [&](std::size_t op, double ms) {
@@ -145,9 +162,10 @@ MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
       }
     };
     if (pool) {
-      sweep_frontier(ops, mapping, eval, pool.get(), keep_best);
+      sweep_frontier(ops, mapping, eval, pool, control, keep_best);
     } else {
       for (std::size_t op = 0; op < ops.count(); ++op) {
+        if (control.interrupted()) break;
         if (ops.is_noop(op, mapping)) continue;
         ops.apply_with_undo(op, mapping, undo);
         const double ms = objective(mapping);
@@ -155,21 +173,29 @@ MapperResult DecompositionMapper::map_basic(const Evaluator& eval) const {
         keep_best(op, ms);
       }
     }
-    if (best_op == ops.count()) break;  // no improving operation left
+    if (best_op == ops.count()) {
+      // Nothing improving — convergence only if the scan was complete.
+      converged = !control.interrupted();
+      break;
+    }
     ops.apply(best_op, mapping);
     current = best_makespan;
     ++iterations;
   }
+  if (!converged) {
+    control.should_stop(iterations, eval.evaluation_count() - evals_before);
+  }
 
-  MapperResult result;
-  result.predicted_makespan = eval.evaluate(mapping);
-  result.mapping = std::move(mapping);
-  result.iterations = iterations;
-  result.evaluations = eval.evaluation_count() - evals_before;
-  return result;
+  MapReport report;
+  report.predicted_makespan = eval.evaluate(mapping);
+  report.mapping = std::move(mapping);
+  report.iterations = iterations;
+  report.evaluations = eval.evaluation_count() - evals_before;
+  return report;
 }
 
-MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
+MapReport DecompositionMapper::map_threshold(const Evaluator& eval,
+                                             RunControl& control) const {
   const std::size_t evals_before = eval.evaluation_count();
   const OpTable ops{&subgraphs_, eval.cost().platform().device_count()};
   const double gamma = std::max(params_.gamma, 1.0);
@@ -179,10 +205,9 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
   // A custom objective cannot go through the makespan batch API. The
   // heap-guided inner scan is inherently sequential; only the full-frontier
   // sweeps (initial fill, verification) batch.
-  std::unique_ptr<ThreadPool> pool;
-  if (params_.threads > 1 && !params_.objective) {
-    pool = std::make_unique<ThreadPool>(params_.threads);
-  }
+  const PoolLease lease(control.request(),
+                        params_.objective ? 1 : params_.threads);
+  ThreadPool* pool = params_.objective ? nullptr : lease.get();
 
   Mapping mapping = eval.default_mapping();
   double current = objective(mapping);
@@ -203,7 +228,7 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
   auto recompute_all = [&](auto&& consume) {
     if (pool) {
       std::vector<double> improvement(ops.count(), -kInfeasible);
-      sweep_frontier(ops, mapping, eval, pool.get(),
+      sweep_frontier(ops, mapping, eval, pool, control,
                      [&](std::size_t op, double ms) {
                        improvement[op] = current - ms;
                      });
@@ -212,6 +237,7 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
       }
     } else {
       for (std::size_t op = 0; op < ops.count(); ++op) {
+        if (control.interrupted()) break;
         consume(op, recompute(op));
       }
     }
@@ -227,9 +253,14 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
                               ? params_.max_iterations
                               : std::max<std::size_t>(16, 2 * mapping.size());
   std::size_t iterations = 0;
+  bool converged = false;
   std::vector<bool> fresh(ops.count(), false);
 
   while (iterations < cap) {
+    if (control.should_stop(iterations,
+                            eval.evaluation_count() - evals_before)) {
+      break;
+    }
     // Scan operations in order of expected improvement, re-evaluating each
     // against the current configuration. Once an actual improvement is
     // found, keep looking only while the next expectation exceeds
@@ -238,6 +269,7 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
     std::size_t best_op = ops.count();
     double best_imp = 0.0;
     while (!heap.empty()) {
+      if (control.interrupted()) break;
       const std::size_t top = heap.top();
       if (fresh[top]) break;  // exact value on top: nothing stale can win
       if (best_op != ops.count() && heap.top_priority() <= best_imp / gamma) {
@@ -256,7 +288,7 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
       }
     }
 
-    if (best_op == ops.count()) {
+    if (best_op == ops.count() && !control.interrupted()) {
       // Verification sweep (paper: "in the last iteration, we recompute
       // every possible mapping"): expectations may be stale underestimates.
       recompute_all([&](std::size_t op, double imp) {
@@ -266,8 +298,13 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
           best_op = op;
         }
       });
-      if (best_op == ops.count()) break;  // verified: no improvement left
+      if (best_op == ops.count()) {
+        // Verified — convergence only if the sweep ran to completion.
+        converged = !control.interrupted();
+        break;
+      }
     }
+    if (best_op == ops.count()) break;  // interrupted with nothing to apply
 
     ops.apply(best_op, mapping);
     current -= best_imp;
@@ -275,13 +312,16 @@ MapperResult DecompositionMapper::map_threshold(const Evaluator& eval) const {
     heap.push_or_update(best_op, 0.0);
     ++iterations;
   }
+  if (!converged) {
+    control.should_stop(iterations, eval.evaluation_count() - evals_before);
+  }
 
-  MapperResult result;
-  result.predicted_makespan = eval.evaluate(mapping);
-  result.mapping = std::move(mapping);
-  result.iterations = iterations;
-  result.evaluations = eval.evaluation_count() - evals_before;
-  return result;
+  MapReport report;
+  report.predicted_makespan = eval.evaluate(mapping);
+  report.mapping = std::move(mapping);
+  report.iterations = iterations;
+  report.evaluations = eval.evaluation_count() - evals_before;
+  return report;
 }
 
 std::unique_ptr<DecompositionMapper> make_single_node_mapper(const Dag& dag,

@@ -56,14 +56,15 @@ class DecompositionMapper final : public Mapper {
   DecompositionMapper(std::string name, SubgraphSet subgraphs,
                       DecompositionParams params = {});
 
+  using Mapper::map;
   std::string name() const override { return name_; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 
   const SubgraphSet& subgraphs() const { return subgraphs_; }
 
  private:
-  MapperResult map_basic(const Evaluator& eval) const;
-  MapperResult map_threshold(const Evaluator& eval) const;
+  MapReport map_basic(const Evaluator& eval, RunControl& control) const;
+  MapReport map_threshold(const Evaluator& eval, RunControl& control) const;
 
   std::string name_;
   SubgraphSet subgraphs_;

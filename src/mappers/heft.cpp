@@ -27,7 +27,8 @@ std::vector<double> heft_upward_ranks(const CostModel& cost) {
   return rank;
 }
 
-MapperResult HeftMapper::map(const Evaluator& eval) {
+MapReport HeftMapper::map(const Evaluator& eval, const MapRequest& request) {
+  RunControl control(request);
   const CostModel& cost = eval.cost();
   const Dag& dag = cost.dag();
   const Platform& platform = cost.platform();
@@ -61,7 +62,12 @@ MapperResult HeftMapper::map(const Evaluator& eval) {
   Mapping mapping(n, platform.default_device());
   std::vector<double> fpga_area_used(m, 0.0);
 
+  // One-shot list scheduler: one "iteration" places one task. A truncated
+  // run leaves the remaining tasks on the default device — still a valid
+  // mapping, as the run API requires.
+  std::size_t placed = 0;
   for (const NodeId v : order) {
+    if (control.should_stop(placed, 0)) break;
     DeviceId best_dev = platform.default_device();
     double best_eft = kInfeasible;
     double best_start = 0.0;
@@ -97,15 +103,18 @@ MapperResult HeftMapper::map(const Evaluator& eval) {
     if (platform.device(best_dev).is_fpga()) {
       fpga_area_used[best_dev.v] += cost.area(v);
     }
+    ++placed;
   }
 
-  MapperResult result;
+  MapReport report;
   const std::size_t before = eval.evaluation_count();
-  result.predicted_makespan = eval.evaluate(mapping);
-  result.evaluations = eval.evaluation_count() - before;
-  result.mapping = std::move(mapping);
-  result.iterations = n;
-  return result;
+  report.predicted_makespan = eval.evaluate(mapping);
+  report.evaluations = eval.evaluation_count() - before;
+  report.mapping = std::move(mapping);
+  report.iterations = placed;
+  control.record_incumbent(report.predicted_makespan, placed);
+  control.finalize(report);
+  return report;
 }
 
 void detail::register_heft_mapper(MapperRegistry& registry) {

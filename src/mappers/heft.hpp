@@ -16,8 +16,9 @@ namespace spmap {
 
 class HeftMapper final : public Mapper {
  public:
+  using Mapper::map;
   std::string name() const override { return "HEFT"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 };
 
 /// Upward rank of every task (exposed for tests and PEFT reuse):

@@ -64,8 +64,9 @@ class LocalSearchMapper final : public Mapper {
   LocalSearchMapper(LocalSearchParams params,
                     std::unique_ptr<Mapper> init_mapper);
 
+  using Mapper::map;
   std::string name() const override;
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 
  private:
   LocalSearchParams params_;

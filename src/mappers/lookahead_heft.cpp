@@ -76,7 +76,9 @@ void commit(const CostModel& cost, SchedState& state, NodeId v,
 
 }  // namespace
 
-MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
+MapReport LookaheadHeftMapper::map(const Evaluator& eval,
+                                   const MapRequest& request) {
+  RunControl control(request);
   const CostModel& cost = eval.cost();
   const Dag& dag = cost.dag();
   const Platform& platform = cost.platform();
@@ -107,8 +109,8 @@ MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
   state.mapping = Mapping(n, platform.default_device());
   state.fpga_area_used.assign(m, 0.0);
 
-  std::unique_ptr<ThreadPool> pool;
-  if (params_.threads > 1) pool = std::make_unique<ThreadPool>(params_.threads);
+  const PoolLease lease(request, params_.threads);
+  ThreadPool* pool = lease.get();
 
   // Scores one candidate device for `v`: place v on its best slot, then
   // tentatively schedule all children with plain HEFT on a private state
@@ -163,7 +165,11 @@ MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
     score[d] = worst;
   };
 
+  // One-shot list scheduler: one "iteration" places one task; a truncated
+  // run leaves the remaining tasks on the default device (valid mapping).
+  std::size_t placed = 0;
   for (const NodeId v : order) {
+    if (control.should_stop(placed, 0)) break;
     // Candidate devices for v; judge each by the worst child EFT after
     // tentatively scheduling all children with plain HEFT. The frontier is
     // scored in parallel; the winner is reduced in device order, so the
@@ -186,15 +192,18 @@ MapperResult LookaheadHeftMapper::map(const Evaluator& eval) {
     }
     SPMAP_ASSERT(chosen.eft < kInfeasible);
     commit(cost, state, v, chosen);
+    ++placed;
   }
 
-  MapperResult result;
+  MapReport report;
   const std::size_t before = eval.evaluation_count();
-  result.predicted_makespan = eval.evaluate(state.mapping);
-  result.evaluations = eval.evaluation_count() - before;
-  result.mapping = std::move(state.mapping);
-  result.iterations = n;
-  return result;
+  report.predicted_makespan = eval.evaluate(state.mapping);
+  report.evaluations = eval.evaluation_count() - before;
+  report.mapping = std::move(state.mapping);
+  report.iterations = placed;
+  control.record_incumbent(report.predicted_makespan, placed);
+  control.finalize(report);
+  return report;
 }
 
 void detail::register_lookahead_heft_mapper(MapperRegistry& registry) {

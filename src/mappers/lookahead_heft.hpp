@@ -29,8 +29,9 @@ class LookaheadHeftMapper final : public Mapper {
   explicit LookaheadHeftMapper(LookaheadHeftParams params = {})
       : params_(params) {}
 
+  using Mapper::map;
   std::string name() const override { return "LookaheadHEFT"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 
  private:
   LookaheadHeftParams params_;

@@ -7,25 +7,24 @@
 /// never see hardware — the evaluator is the single source of truth, which
 /// is the paper's model-based design principle (Section II-B) and makes all
 /// algorithms directly comparable.
+///
+/// Runs go through the anytime run API (run_api.hpp): `map(eval, request)`
+/// executes one bounded, cancellable, observable run and returns a
+/// `MapReport` explaining how it ended. The request-free overload runs the
+/// mapper's *baked* request (set by the registry from the shared
+/// `deadline_ms=` / `max_evals=` / `max_iters=` options; unlimited by
+/// default), so pre-redesign call sites keep compiling and behaving as
+/// before. Derived classes implement the two-argument virtual and inherit
+/// the convenience overload via `using Mapper::map;`.
 
 #include <memory>
 #include <string>
 
+#include "mappers/run_api.hpp"
 #include "model/mapping.hpp"
 #include "sched/evaluator.hpp"
 
 namespace spmap {
-
-struct MapperResult {
-  Mapping mapping;
-  /// Makespan of `mapping` as seen by the evaluator passed to map().
-  double predicted_makespan = 0.0;
-  /// Algorithm-specific progress counter (greedy iterations, GA
-  /// generations, B&B nodes, ...).
-  std::size_t iterations = 0;
-  /// Number of single-schedule model evaluations consumed.
-  std::size_t evaluations = 0;
-};
 
 class Mapper {
  public:
@@ -34,8 +33,22 @@ class Mapper {
   /// Display name used in experiment tables, e.g. "SPFirstFit".
   virtual std::string name() const = 0;
 
-  /// Computes a mapping for the evaluator's task graph.
-  virtual MapperResult map(const Evaluator& eval) = 0;
+  /// Computes a mapping for the evaluator's task graph under `request`'s
+  /// bounds. Always returns a valid mapping (see run_api.hpp semantics).
+  virtual MapReport map(const Evaluator& eval, const MapRequest& request) = 0;
+
+  /// Runs the baked default request (source-compatibility overload).
+  MapReport map(const Evaluator& eval) { return map(eval, default_request_); }
+
+  /// The request used by the request-free overload. The registry bakes the
+  /// shared run options (`deadline_ms=`, `max_evals=`, `max_iters=`) here.
+  const MapRequest& default_request() const { return default_request_; }
+  void set_default_request(MapRequest request) {
+    default_request_ = std::move(request);
+  }
+
+ private:
+  MapRequest default_request_;
 };
 
 }  // namespace spmap

@@ -94,21 +94,71 @@ struct Builder {
   }
 };
 
-MapperResult finish(const Evaluator& eval, MilpMapperBase&, const Builder& b,
-                    const MipResult& mip, MipStatus& status_out,
-                    bool& timeout_out, std::size_t& nodes_out) {
+/// MipParams for one run — the mapper's own limits tightened by the
+/// request's deadline/iteration budget, cancellation wired to the solver's
+/// per-node interrupt hook — plus which bounds the *request* imposed, so
+/// finish() can attribute the termination honestly.
+struct MipRunParams {
+  MipParams mip;
+  bool deadline_from_request = false;
+  std::size_t request_node_cap = 0;  ///< 0 = the request caps no nodes
+};
+
+MipRunParams mip_params_for_run(const MilpMapperParams& params,
+                                const RunControl& control) {
+  const MapRequest& request = control.request();
+  MipRunParams run;
+  run.mip.time_limit_s = params.time_limit_s;
+  if (request.deadline_ms > 0.0) {
+    const double remaining_s =
+        request.deadline_ms / 1e3 - control.elapsed_seconds();
+    run.mip.time_limit_s =
+        std::min(run.mip.time_limit_s, std::max(remaining_s, 1e-3));
+    run.deadline_from_request = true;
+  }
+  run.mip.max_nodes = params.max_nodes;
+  if (request.max_iterations != 0) {
+    run.mip.max_nodes = std::min(run.mip.max_nodes, request.max_iterations);
+    run.request_node_cap = request.max_iterations;
+  }
+  run.mip.interrupt = [&control] { return control.cancelled(); };
+  return run;
+}
+
+MapReport finish(const Evaluator& eval, MilpMapperBase&, const Builder& b,
+                 const MipResult& mip, const MipRunParams& run,
+                 RunControl& control, MipStatus& status_out,
+                 bool& timeout_out, std::size_t& nodes_out) {
   status_out = mip.status;
   timeout_out = mip.timed_out;
   nodes_out = mip.nodes;
 
-  MapperResult result;
-  result.iterations = mip.nodes;
+  // An interrupted solve is an anytime result: the warm-started incumbent
+  // guarantees a valid mapping at any limit. Attribute the stop to the
+  // request only for the bounds the request actually imposed; the
+  // mapper's *own* time/node limits are its planned work — running them
+  // out is convergence (the paper's anytime-cutoff behaviour).
+  if (mip.timed_out) {
+    if (control.cancelled()) {
+      control.stop(TerminationReason::kCancelled);
+    } else if (run.deadline_from_request && control.deadline_expired()) {
+      control.stop(TerminationReason::kDeadline);
+    } else if (run.request_node_cap != 0 &&
+               mip.nodes >= run.request_node_cap) {
+      control.stop(TerminationReason::kBudgetExhausted);
+    }
+  }
+
+  MapReport report;
+  report.iterations = mip.nodes;
   const std::size_t before = eval.evaluation_count();
-  result.mapping = mip.has_solution() ? b.extract_mapping(mip.x)
+  report.mapping = mip.has_solution() ? b.extract_mapping(mip.x)
                                       : eval.default_mapping();
-  result.predicted_makespan = eval.evaluate(result.mapping);
-  result.evaluations = eval.evaluation_count() - before;
-  return result;
+  report.predicted_makespan = eval.evaluate(report.mapping);
+  report.evaluations = eval.evaluation_count() - before;
+  control.record_incumbent(report.predicted_makespan, mip.nodes);
+  control.finalize(report);
+  return report;
 }
 
 /// Adds start-time variables, big-M precedence rows, the makespan variable
@@ -188,7 +238,9 @@ std::vector<double> serial_cpu_starts(const Builder& b) {
 
 }  // namespace
 
-MapperResult WgdpDeviceMapper::map(const Evaluator& eval) {
+MapReport WgdpDeviceMapper::map(const Evaluator& eval,
+                                const MapRequest& request) {
+  RunControl control(request);
   Builder b(eval.cost());
   b.add_assignment();
 
@@ -215,15 +267,15 @@ MapperResult WgdpDeviceMapper::map(const Evaluator& eval) {
   }
   warm[t] = cpu_load;
 
-  MipParams mp;
-  mp.time_limit_s = params_.time_limit_s;
-  mp.max_nodes = params_.max_nodes;
-  const MipResult mip = MipSolver(mp).solve(b.model, &warm);
-  return finish(eval, *this, b, mip, last_status_, last_timed_out_,
-                last_nodes_);
+  const MipRunParams run = mip_params_for_run(params_, control);
+  const MipResult mip = MipSolver(run.mip).solve(b.model, &warm);
+  return finish(eval, *this, b, mip, run, control, last_status_,
+                last_timed_out_, last_nodes_);
 }
 
-MapperResult WgdpTimeMapper::map(const Evaluator& eval) {
+MapReport WgdpTimeMapper::map(const Evaluator& eval,
+                              const MapRequest& request) {
+  RunControl control(request);
   Builder b(eval.cost());
   b.add_assignment();
   const TimeStructure ts = add_time_structure(b, /*streaming_aware=*/true);
@@ -255,15 +307,15 @@ MapperResult WgdpTimeMapper::map(const Evaluator& eval) {
   }
   warm[ts.makespan] = total;
 
-  MipParams mp;
-  mp.time_limit_s = params_.time_limit_s;
-  mp.max_nodes = params_.max_nodes;
-  const MipResult mip = MipSolver(mp).solve(b.model, &warm);
-  return finish(eval, *this, b, mip, last_status_, last_timed_out_,
-                last_nodes_);
+  const MipRunParams run = mip_params_for_run(params_, control);
+  const MipResult mip = MipSolver(run.mip).solve(b.model, &warm);
+  return finish(eval, *this, b, mip, run, control, last_status_,
+                last_timed_out_, last_nodes_);
 }
 
-MapperResult ZhouLiuMapper::map(const Evaluator& eval) {
+MapReport ZhouLiuMapper::map(const Evaluator& eval,
+                             const MapRequest& request) {
+  RunControl control(request);
   Builder b(eval.cost());
   b.add_assignment();
   const TimeStructure ts = add_time_structure(b, /*streaming_aware=*/false);
@@ -321,12 +373,10 @@ MapperResult ZhouLiuMapper::map(const Evaluator& eval) {
   warm[ts.makespan] = total;
   for (std::size_t k = 0; k < z_vars.size(); ++k) warm[z_vars[k]] = warm_z[k];
 
-  MipParams mp;
-  mp.time_limit_s = params_.time_limit_s;
-  mp.max_nodes = params_.max_nodes;
-  const MipResult mip = MipSolver(mp).solve(b.model, &warm);
-  return finish(eval, *this, b, mip, last_status_, last_timed_out_,
-                last_nodes_);
+  const MipRunParams run = mip_params_for_run(params_, control);
+  const MipResult mip = MipSolver(run.mip).solve(b.model, &warm);
+  return finish(eval, *this, b, mip, run, control, last_status_,
+                last_timed_out_, last_nodes_);
 }
 
 namespace {

@@ -56,26 +56,29 @@ class MilpMapperBase : public Mapper {
 
 class WgdpDeviceMapper final : public MilpMapperBase {
  public:
+  using Mapper::map;
   explicit WgdpDeviceMapper(MilpMapperParams params = {})
       : MilpMapperBase(params) {}
   std::string name() const override { return "WGDP-Dev"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 };
 
 class WgdpTimeMapper final : public MilpMapperBase {
  public:
+  using Mapper::map;
   explicit WgdpTimeMapper(MilpMapperParams params = {})
       : MilpMapperBase(params) {}
   std::string name() const override { return "WGDP-Time"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 };
 
 class ZhouLiuMapper final : public MilpMapperBase {
  public:
+  using Mapper::map;
   explicit ZhouLiuMapper(MilpMapperParams params = {})
       : MilpMapperBase(params) {}
   std::string name() const override { return "ZhouLiu"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 };
 
 }  // namespace spmap

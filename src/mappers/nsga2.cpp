@@ -21,7 +21,8 @@ struct Individual {
 
 }  // namespace
 
-MapperResult Nsga2Mapper::map(const Evaluator& eval) {
+MapReport Nsga2Mapper::map(const Evaluator& eval, const MapRequest& request) {
+  RunControl control(request);
   const CostModel& cost = eval.cost();
   const Dag& dag = cost.dag();
   const Platform& platform = cost.platform();
@@ -29,7 +30,7 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
   const std::size_t m = platform.device_count();
   const std::size_t evals_before = eval.evaluation_count();
 
-  Rng rng(params_.seed);
+  Rng rng(request.seed.value_or(params_.seed));
   const double mutation_rate =
       params_.mutation_rate > 0.0 ? params_.mutation_rate
                                   : 1.0 / static_cast<double>(std::max<
@@ -75,8 +76,7 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
   // random stream — and hence its trajectory — identical to evaluating
   // each individual on the spot; the batch itself is bit-identical for
   // every thread count.
-  std::unique_ptr<ThreadPool> pool;
-  if (params_.threads > 1) pool = std::make_unique<ThreadPool>(params_.threads);
+  const PoolLease lease(request, params_.threads);
   auto evaluate_cohort = [&](std::vector<Individual>& cohort) {
     std::vector<Mapping> mappings;
     mappings.reserve(cohort.size());
@@ -84,7 +84,7 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
       mappings.push_back(to_mapping(ind.genes));
     }
     const std::vector<double> fitness =
-        eval.evaluate_batch(mappings, pool.get());
+        eval.evaluate_batch(mappings, lease.get());
     for (std::size_t i = 0; i < cohort.size(); ++i) {
       cohort[i].fitness = fitness[i];
     }
@@ -103,6 +103,21 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
   }
   evaluate_cohort(population);
 
+  // Incumbent tracking: the best fitness seen, recorded whenever it
+  // improves so the trajectory explains the GA's anytime behaviour.
+  double incumbent = kInfeasible;
+  auto track_incumbent = [&](std::size_t generation) {
+    double best = kInfeasible;
+    for (const Individual& ind : population) {
+      best = std::min(best, ind.fitness);
+    }
+    if (best < incumbent) {
+      incumbent = best;
+      control.record_incumbent(best, generation);
+    }
+  };
+  track_incumbent(0);
+
   auto tournament = [&]() -> const Individual& {
     const Individual* best = &population[rng.below(population.size())];
     for (std::size_t t = 1; t < params_.tournament; ++t) {
@@ -112,8 +127,15 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
     return *best;
   };
 
+  // Honest anytime loop: deadline/cancellation and the request budget are
+  // checked between generations (one generation consumes `population`
+  // evaluations), and the elitist population always holds the incumbent.
   std::vector<Individual> offspring;
+  std::size_t generations_run = 0;
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    if (control.should_stop(gen, eval.evaluation_count() - evals_before)) {
+      break;
+    }
     offspring.clear();
     while (offspring.size() < params_.population) {
       const Individual& pa = tournament();
@@ -140,15 +162,23 @@ MapperResult Nsga2Mapper::map(const Evaluator& eval) {
                        return a.fitness < b.fitness;
                      });
     population.resize(params_.population);
+    ++generations_run;
+    track_incumbent(generations_run);
   }
 
-  const Individual& best = population.front();
-  MapperResult result;
-  result.mapping = to_mapping(best.genes);
-  result.predicted_makespan = best.fitness;
-  result.iterations = params_.generations;
-  result.evaluations = eval.evaluation_count() - evals_before;
-  return result;
+  // Scan instead of relying on sort order: a zero-generation run (budget
+  // already exhausted) leaves the initial population unsorted.
+  const Individual* best = &population.front();
+  for (const Individual& ind : population) {
+    if (ind.fitness < best->fitness) best = &ind;
+  }
+  MapReport report;
+  report.mapping = to_mapping(best->genes);
+  report.predicted_makespan = best->fitness;
+  report.iterations = generations_run;
+  report.evaluations = eval.evaluation_count() - evals_before;
+  control.finalize(report);
+  return report;
 }
 
 void detail::register_nsga2_mapper(MapperRegistry& registry) {
@@ -196,10 +226,7 @@ void detail::register_nsga2_mapper(MapperRegistry& registry) {
         "tournament", static_cast<std::int64_t>(params.tournament));
     require(tournament >= 1, "mapper option 'tournament': must be >= 1");
     params.tournament = static_cast<std::size_t>(tournament);
-    params.seed = ctx.options.has("seed")
-                      ? static_cast<std::uint64_t>(
-                            ctx.options.get_int("seed", 0))
-                      : ctx.rng();
+    params.seed = seed_option(ctx.options, ctx.rng);
     params.threads = threads_option(ctx.options);
     return std::make_unique<Nsga2Mapper>(params);
   };

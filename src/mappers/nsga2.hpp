@@ -34,8 +34,9 @@ class Nsga2Mapper final : public Mapper {
  public:
   explicit Nsga2Mapper(Nsga2Params params = {}) : params_(params) {}
 
+  using Mapper::map;
   std::string name() const override { return "NSGAII"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 
  private:
   Nsga2Params params_;

@@ -38,7 +38,8 @@ std::vector<double> peft_oct(const CostModel& cost) {
   return oct;
 }
 
-MapperResult PeftMapper::map(const Evaluator& eval) {
+MapReport PeftMapper::map(const Evaluator& eval, const MapRequest& request) {
+  RunControl control(request);
   const CostModel& cost = eval.cost();
   const Dag& dag = cost.dag();
   const Platform& platform = cost.platform();
@@ -77,8 +78,11 @@ MapperResult PeftMapper::map(const Evaluator& eval) {
   Mapping mapping(n, platform.default_device());
   std::vector<double> fpga_area_used(m, 0.0);
 
+  // One-shot list scheduler: one "iteration" places one ready task. A
+  // truncated run leaves the rest on the default device (valid mapping).
   std::size_t scheduled = 0;
   while (!ready.empty()) {
+    if (control.should_stop(scheduled, 0)) break;
     // Highest-rank ready task (ties: earliest topological position).
     std::size_t pick = 0;
     for (std::size_t k = 1; k < ready.size(); ++k) {
@@ -137,15 +141,18 @@ MapperResult PeftMapper::map(const Evaluator& eval) {
       if (--pending[dag.dst(e).v] == 0) ready.push_back(dag.dst(e));
     }
   }
-  require(scheduled == n, "PEFT: scheduling did not cover all tasks");
+  require(scheduled == n || control.stopped(),
+          "PEFT: scheduling did not cover all tasks");
 
-  MapperResult result;
+  MapReport report;
   const std::size_t before = eval.evaluation_count();
-  result.predicted_makespan = eval.evaluate(mapping);
-  result.evaluations = eval.evaluation_count() - before;
-  result.mapping = std::move(mapping);
-  result.iterations = n;
-  return result;
+  report.predicted_makespan = eval.evaluate(mapping);
+  report.evaluations = eval.evaluation_count() - before;
+  report.mapping = std::move(mapping);
+  report.iterations = scheduled;
+  control.record_incumbent(report.predicted_makespan, scheduled);
+  control.finalize(report);
+  return report;
 }
 
 void detail::register_peft_mapper(MapperRegistry& registry) {

@@ -16,8 +16,9 @@ namespace spmap {
 
 class PeftMapper final : public Mapper {
  public:
+  using Mapper::map;
   std::string name() const override { return "PEFT"; }
-  MapperResult map(const Evaluator& eval) override;
+  MapReport map(const Evaluator& eval, const MapRequest& request) override;
 };
 
 /// The optimistic cost table, node-major: oct[node * device_count + device].

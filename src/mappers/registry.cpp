@@ -1,5 +1,6 @@
 #include "mappers/registry.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -17,6 +18,41 @@ std::string join(const std::vector<std::string>& items, const char* sep) {
     out += items[i];
   }
   return out;
+}
+
+/// Levenshtein distance, used for the unknown-name suggestion.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+/// The closest registered name, or "" when nothing is plausibly meant
+/// (distance must stay within half the typed name, minimum 2).
+std::string nearest_name(const std::string& name,
+                         const std::vector<std::string>& names) {
+  std::string best;
+  std::size_t best_distance = ~std::size_t{0};
+  for (const std::string& candidate : names) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best_distance <= std::max<std::size_t>(2, name.size() / 2)
+             ? best
+             : std::string();
 }
 
 }  // namespace
@@ -111,6 +147,35 @@ std::size_t threads_option(const MapperOptions& options) {
   return static_cast<std::size_t>(value);
 }
 
+std::uint64_t seed_option(const MapperOptions& options,
+                          Rng& construction_rng) {
+  if (!options.has("seed")) return construction_rng();
+  const std::int64_t value = options.get_int("seed", 0);
+  require(value >= 0, "mapper option 'seed': must be >= 0, got '" +
+                          options.get("seed", "") + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+bool is_shared_run_option(const std::string& key) {
+  return key == "deadline_ms" || key == "max_evals" || key == "max_iters";
+}
+
+MapRequest run_request_from_options(const MapperOptions& options) {
+  MapRequest request;
+  request.deadline_ms = options.get_double("deadline_ms", 0.0);
+  require(request.deadline_ms >= 0.0,
+          "mapper option 'deadline_ms': must be >= 0 (0 = no deadline)");
+  const std::int64_t max_evals = options.get_int("max_evals", 0);
+  require(max_evals >= 0,
+          "mapper option 'max_evals': must be >= 0 (0 = unlimited)");
+  request.max_evaluations = static_cast<std::size_t>(max_evals);
+  const std::int64_t max_iters = options.get_int("max_iters", 0);
+  require(max_iters >= 0,
+          "mapper option 'max_iters': must be >= 0 (0 = unlimited)");
+  request.max_iterations = static_cast<std::size_t>(max_iters);
+  return request;
+}
+
 // ---- MapperEntry ----
 
 bool MapperEntry::supports_option(const std::string& key) const {
@@ -123,15 +188,20 @@ bool MapperEntry::supports_option(const std::string& key) const {
 void MapperEntry::validate_options(const MapperOptions& opts) const {
   for (const auto& [key, value] : opts.values()) {
     (void)value;
-    if (supports_option(key)) continue;
+    if (is_shared_run_option(key) || supports_option(key)) continue;
     std::vector<std::string> accepted;
     for (const MapperOptionInfo& info : options) accepted.push_back(info.key);
     throw Error("mapper '" + name + "' does not accept option '" + key +
                 "'" +
                 (accepted.empty()
-                     ? " (it takes no options)"
-                     : " (accepted: " + join(accepted, ", ") + ")"));
+                     ? " (it takes no mapper-specific options; the shared "
+                       "run options deadline_ms=, max_evals=, max_iters= "
+                       "always apply)"
+                     : " (accepted: " + join(accepted, ", ") +
+                           ", plus the shared run options deadline_ms=, "
+                           "max_evals=, max_iters=)"));
   }
+  run_request_from_options(opts);  // validates the shared run options
   if (validate_values) validate_values(opts);
 }
 
@@ -180,8 +250,12 @@ bool MapperRegistry::contains(const std::string& name) const {
 const MapperEntry& MapperRegistry::at(const std::string& name) const {
   const auto it = index_.find(name);
   if (it == index_.end()) {
-    throw Error("unknown mapper: '" + name + "' (known mappers: " +
-                join(names(), ", ") + ")");
+    const std::string suggestion = nearest_name(name, names());
+    throw Error("unknown mapper: '" + name + "'" +
+                (suggestion.empty()
+                     ? ""
+                     : " — did you mean '" + suggestion + "'?") +
+                " (known mappers: " + join(names(), ", ") + ")");
   }
   return entries_[it->second];
 }
@@ -211,6 +285,9 @@ std::unique_ptr<Mapper> MapperRegistry::create(const std::string& spec,
   std::unique_ptr<Mapper> mapper = entry.factory(context);
   require(mapper != nullptr,
           "MapperRegistry: factory of '" + name + "' returned null");
+  // Bake the shared run options into the default request, so request-free
+  // drivers (bench harness, examples) honor `heft:deadline_ms=50` too.
+  mapper->set_default_request(run_request_from_options(options));
   return mapper;
 }
 

@@ -102,7 +102,9 @@ struct MapperEntry {
   bool supports_option(const std::string& key) const;
   /// Throws spmap::Error if `options` contains a key this mapper does not
   /// accept (listing what is accepted), or — when the entry installs a
-  /// `validate_values` hook — if an accepted key carries a bad value.
+  /// `validate_values` hook — if an accepted key carries a bad value. The
+  /// shared run options (is_shared_run_option) are accepted by every
+  /// mapper and validated here too.
   void validate_options(const MapperOptions& options) const;
   /// "k=v,k=v" over all options with non-empty defaults ("-" if none).
   std::string default_spec() const;
@@ -118,6 +120,21 @@ std::string format_option_value(double value);
 /// spmap::Error unless >= 1. Default: 1 (serial).
 std::size_t threads_option(const MapperOptions& options);
 
+/// Parses the shared `seed=` option of the stochastic mappers: the given
+/// value when present (negative values throw spmap::Error with a
+/// diagnostic), else a draw from the construction rng — so unseeded runs
+/// vary per construction while `seed=` pins them exactly.
+std::uint64_t seed_option(const MapperOptions& options, Rng& construction_rng);
+
+/// True for the run options every mapper accepts (`deadline_ms=`,
+/// `max_evals=`, `max_iters=`); they are baked into the constructed
+/// mapper's default MapRequest instead of reaching the factory.
+bool is_shared_run_option(const std::string& key);
+
+/// Parses the shared run options into a MapRequest (fields not mentioned
+/// keep their defaults). Throws spmap::Error on negative values.
+MapRequest run_request_from_options(const MapperOptions& options);
+
 /// Global name -> factory table of every mapping algorithm.
 class MapperRegistry {
  public:
@@ -129,7 +146,9 @@ class MapperRegistry {
   void add(MapperEntry entry);
 
   bool contains(const std::string& name) const;
-  /// Entry lookup; unknown names throw spmap::Error listing what exists.
+  /// Entry lookup; unknown names throw spmap::Error listing what exists,
+  /// with a nearest-name "did you mean 'heft'?" suggestion when a
+  /// registered name is close by edit distance.
   const MapperEntry& at(const std::string& name) const;
   /// Canonical names in registration order.
   std::vector<std::string> names() const;

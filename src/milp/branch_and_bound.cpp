@@ -44,7 +44,8 @@ class Search {
  private:
   /// Returns true if the subtree was fully explored (false on interrupt).
   bool dfs(std::vector<double>& lb, std::vector<double>& ub, int depth) {
-    if (deadline_.expired() || nodes_ >= params_.max_nodes || depth > 4096) {
+    if (deadline_.expired() || nodes_ >= params_.max_nodes || depth > 4096 ||
+        (params_.interrupt && params_.interrupt())) {
       interrupted_ = true;
       return false;
     }

@@ -10,6 +10,7 @@
 /// behaviour the paper reports for the ZhouLiu MILP beyond 20 tasks.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "milp/model.hpp"
@@ -30,6 +31,10 @@ struct MipParams {
   double int_tol = 1e-6;
   /// Prune nodes whose LP bound is within this of the incumbent.
   double gap_abs = 1e-9;
+  /// Optional cooperative interrupt, polled once per node. Returning true
+  /// stops the search like an expired time limit (the incumbent survives);
+  /// the caller knows why it fired. Must be cheap and thread-safe.
+  std::function<bool()> interrupt;
 };
 
 struct MipResult {

@@ -1,0 +1,248 @@
+#include "serve/mapping_service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "mappers/registry.hpp"
+#include "model/cost_model.hpp"
+#include "sched/evaluator.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace spmap {
+
+ReportingContext::ReportingContext(std::shared_ptr<const TaskGraph> graph,
+                                   std::shared_ptr<const Platform> platform,
+                                   std::size_t reporting_orders)
+    : graph_(std::move(graph)),
+      platform_(std::move(platform)),
+      reporting_orders_(reporting_orders) {}
+
+ReportingContext::Built::Built(const TaskGraph& graph,
+                               const Platform& platform,
+                               std::size_t reporting_orders)
+    : cost(graph.dag, graph.attrs, platform),
+      evaluator(cost, {.random_orders = reporting_orders}),
+      baseline(evaluator.default_mapping_makespan()) {}
+
+const ReportingContext::Built& ReportingContext::built() const {
+  std::call_once(built_once_, [this] {
+    built_.emplace(*graph_, *platform_, reporting_orders_);
+  });
+  return *built_;
+}
+
+double ReportingContext::evaluate(const Mapping& mapping) const {
+  // Thread-safe path: a per-call context instead of the evaluator's
+  // shared internal scratch (jobs of one context run concurrently).
+  EvalContext ctx;
+  return built().evaluator.evaluate(mapping, ctx);
+}
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Shared between the service, its workers and every handle copy. The
+/// per-job mutex/cv keeps handle operations independent of the service's
+/// queue lock (a wait() never blocks submissions).
+struct MappingService::JobState {
+  std::uint64_t id = 0;
+  MapJob job;
+  MapRequest request;
+  Rng construction_rng{0};
+
+  mutable std::mutex mutex;
+  std::condition_variable terminal;
+  JobStatus status = JobStatus::kQueued;
+  MapJobResult result;
+
+  bool is_terminal_locked() const {
+    return status == JobStatus::kDone || status == JobStatus::kFailed ||
+           status == JobStatus::kCancelled;
+  }
+};
+
+MappingService::MappingService(Options options) : options_(options) {
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  // Touch the registry before spawning so its one-time init never races.
+  MapperRegistry::instance();
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MappingService::~MappingService() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+MappingService::JobHandle MappingService::submit(MapJob job,
+                                                 MapRequest request) {
+  require(!job.mapper_spec.empty(), "MappingService: empty mapper spec");
+  require(job.graph != nullptr, "MappingService: job without a graph");
+  require(job.platform != nullptr, "MappingService: job without a platform");
+
+  auto state = std::make_shared<JobState>();
+  state->job = std::move(job);
+  state->request = std::move(request);
+  // Per-job cancellation scope: JobHandle::cancel fires only this job's
+  // token; the caller's original token (the child's parent) still cancels
+  // every job submitted with it.
+  state->request.cancel = state->request.cancel.child();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    state->id = next_id_++;
+    // The per-job rng stream depends only on the submission index, never
+    // on worker scheduling — the determinism contract of the header.
+    if (state->job.construction_rng.has_value()) {
+      state->construction_rng = *state->job.construction_rng;
+    } else {
+      std::uint64_t stream = options_.seed + 0x9e3779b97f4a7c15ULL * (state->id + 1);
+      state->construction_rng = Rng(splitmix64(stream));
+    }
+    ++unfinished_;
+    queue_.push_back(state);
+  }
+  work_ready_.notify_one();
+  return JobHandle(state);
+}
+
+void MappingService::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void MappingService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<JobState> state;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      state = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    bool run = false;
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->status == JobStatus::kQueued) {
+        state->status = JobStatus::kRunning;
+        run = true;
+      }
+    }
+    if (run) execute(*state);
+
+    bool drained = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      drained = --unfinished_ == 0;
+    }
+    if (drained) job_done_.notify_all();
+    state->terminal.notify_all();
+  }
+}
+
+void MappingService::execute(JobState& state) {
+  MapJobResult result;
+  JobStatus final_status = JobStatus::kDone;
+  try {
+    const MapJob& job = state.job;
+    // Reuse the shared context's cost model when present; the tables are
+    // identical, so only jobs without one pay the construction.
+    std::optional<CostModel> owned_cost;
+    if (job.reporting == nullptr) {
+      owned_cost.emplace(job.graph->dag, job.graph->attrs, *job.platform);
+    }
+    const CostModel& cost =
+        job.reporting != nullptr ? job.reporting->cost() : *owned_cost;
+    const Evaluator inner(cost, {.random_orders = job.inner_orders});
+
+    WallTimer timer;
+    Rng rng = state.construction_rng;
+    auto mapper =
+        MapperRegistry::instance().create(job.mapper_spec, job.graph->dag, rng);
+    // Bounds baked into the spec (deadline_ms= etc.) tighten the
+    // submit-time request instead of being shadowed by it.
+    result.report = mapper->map(
+        inner, merge_run_bounds(mapper->default_request(), state.request));
+    result.wall_seconds = timer.seconds();
+
+    if (job.reporting != nullptr) {
+      result.baseline_makespan = job.reporting->baseline();
+      result.reported_makespan = job.reporting->evaluate(result.report.mapping);
+    } else if (job.reporting_orders.has_value()) {
+      const Evaluator reporting(cost,
+                                {.random_orders = *job.reporting_orders});
+      result.baseline_makespan = reporting.default_mapping_makespan();
+      result.reported_makespan = reporting.evaluate(result.report.mapping);
+    } else {
+      result.reported_makespan = result.report.predicted_makespan;
+    }
+  } catch (const std::exception& ex) {
+    result.error = ex.what();
+    final_status = JobStatus::kFailed;
+  }
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.result = std::move(result);
+  state.status = final_status;
+}
+
+// ---- JobHandle ----
+
+std::uint64_t MappingService::JobHandle::id() const {
+  return state_ == nullptr ? 0 : state_->id;
+}
+
+JobStatus MappingService::JobHandle::status() const {
+  if (state_ == nullptr) return JobStatus::kFailed;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->status;
+}
+
+bool MappingService::JobHandle::done() const {
+  if (state_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->is_terminal_locked();
+}
+
+void MappingService::JobHandle::cancel() const {
+  if (state_ == nullptr) return;
+  bool became_terminal = false;
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (state_->status == JobStatus::kQueued) {
+      // The worker that eventually pops this state sees a non-queued
+      // status and skips execution.
+      state_->status = JobStatus::kCancelled;
+      state_->result.error = "cancelled before execution";
+      became_terminal = true;
+    }
+  }
+  // Outside the job lock: the running mapper polls this token.
+  state_->request.cancel.request_cancel();
+  if (became_terminal) state_->terminal.notify_all();
+}
+
+const MapJobResult& MappingService::JobHandle::wait() const& {
+  require(state_ != nullptr, "JobHandle::wait on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->terminal.wait(lock, [this] { return state_->is_terminal_locked(); });
+  return state_->result;
+}
+
+}  // namespace spmap

@@ -1,0 +1,240 @@
+#pragma once
+/// \file mapping_service.hpp
+/// Asynchronous mapping jobs: the serving facade over the anytime run API.
+///
+/// A `MappingService` owns a FIFO job queue and a fixed pool of worker
+/// threads. One job is one complete mapping problem — a task graph, a
+/// platform, a registry mapper spec, and the evaluation protocol — bundled
+/// with a `MapRequest` bounding the run. `submit` returns a `JobHandle`
+/// for status polling, blocking waits and cooperative cancellation; the
+/// worker builds the cost model and evaluators, runs the mapper, and (when
+/// `reporting_orders > 0`) re-prices the result with the paper's reporting
+/// protocol (min over BFS + random schedules) plus the all-CPU baseline —
+/// exactly what the scenario runner always computed inline. The scenario
+/// runner is now a client of this layer, and `spmap_cli serve` exposes it
+/// directly.
+///
+/// ## Determinism
+///
+/// Jobs are executed FIFO by whichever worker frees up first, but nothing
+/// a job computes depends on *which* worker runs it or *when*: the
+/// construction rng of every job is fixed at submit time — either the
+/// caller's explicit `construction_rng`, or a stream derived from the
+/// service seed and the job's submission index — and the evaluators are
+/// private to the job. Hence a batch of submissions produces bit-identical
+/// results for every `workers` count (the serial scenario path included),
+/// except wall-clock fields. Deadlines/cancellation break this, as always.
+///
+/// ## Thread-safety
+///
+/// `submit`, `wait_all` and every `JobHandle` member are safe to call from
+/// any thread. The service must outlive its handles' `wait` calls; the
+/// destructor drains the queue (runs every submitted job) and joins the
+/// workers — cancel jobs first for a fast teardown.
+///
+/// ## Lifecycle
+///
+///   kQueued -> kRunning -> kDone (result().error.empty())
+///                       -> kFailed (result().error explains)
+///   kQueued -> kCancelled (cancelled before a worker picked it up)
+///
+/// Cancelling a *running* job triggers its CancelToken: the mapper returns
+/// its incumbent and the job completes as kDone with
+/// `report.termination == TerminationReason::kCancelled`.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "mappers/run_api.hpp"
+#include "model/cost_model.hpp"
+#include "model/platform.hpp"
+#include "sched/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+
+/// Where a job is in its lifecycle (see the header comment).
+enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Stable lower-case label ("queued", "running", ...).
+const char* to_string(JobStatus status);
+
+/// Reporting state shared by every job of one problem: the paper's
+/// reporting evaluator (min over BFS + N random schedules), the all-CPU
+/// baseline makespan and the cost model, built **once** instead of per
+/// job — and built *lazily*: construction only captures the inputs, the
+/// first accessor call pays the build (under std::call_once, so the first
+/// *job* to need it builds it on its worker and siblings reuse it; a
+/// submit thread fanning out hundreds of jobs never serializes on it).
+/// Immutable once built; jobs price their results through the
+/// thread-safe explicit-context overload, so any number of concurrent
+/// workers may share one context (the scenario runner shares one across
+/// a repetition's whole mapper line-up).
+class ReportingContext {
+ public:
+  ReportingContext(std::shared_ptr<const TaskGraph> graph,
+                   std::shared_ptr<const Platform> platform,
+                   std::size_t reporting_orders);
+
+  // The built evaluator points into the built cost model: pinned.
+  ReportingContext(const ReportingContext&) = delete;
+  ReportingContext& operator=(const ReportingContext&) = delete;
+
+  /// `mapping` priced by the reporting protocol. Thread-safe.
+  double evaluate(const Mapping& mapping) const;
+  double baseline() const { return built().baseline; }
+  /// The shared cost model (immutable, thread-safe reads): jobs carrying
+  /// this context build their inner evaluators on it instead of
+  /// constructing a CostModel of their own.
+  const CostModel& cost() const { return built().cost; }
+
+ private:
+  struct Built {
+    CostModel cost;
+    Evaluator evaluator;
+    double baseline;
+
+    Built(const TaskGraph& graph, const Platform& platform,
+          std::size_t reporting_orders);
+  };
+
+  const Built& built() const;
+
+  std::shared_ptr<const TaskGraph> graph_;
+  std::shared_ptr<const Platform> platform_;
+  std::size_t reporting_orders_ = 0;
+  mutable std::once_flag built_once_;
+  mutable std::optional<Built> built_;
+};
+
+/// One mapping problem. Graph and platform are shared immutable inputs
+/// (submit many jobs over one graph without copying it).
+struct MapJob {
+  /// MapperRegistry spec, e.g. "anneal:iters=2000,seed=7".
+  std::string mapper_spec;
+  std::shared_ptr<const TaskGraph> graph;
+  std::shared_ptr<const Platform> platform;
+  /// Random schedule orders of the *inner* evaluator the mapper runs
+  /// against (0 = breadth-first only, the mapping-loop default).
+  std::size_t inner_orders = 0;
+  /// Random schedule orders of the *reporting* evaluator (paper protocol:
+  /// min over BFS + N random schedules; 0 = BFS only). Unset skips the
+  /// reporting pass entirely: `reported_makespan` then equals the report's
+  /// predicted makespan and `baseline_makespan` stays 0. Ignored when
+  /// `reporting` is set.
+  std::optional<std::size_t> reporting_orders;
+  /// Shared precomputed reporting state; set this when many jobs price
+  /// against the same graph/platform so the reporting evaluator and the
+  /// baseline are built once, not per job. Must match `graph`/`platform`.
+  std::shared_ptr<const ReportingContext> reporting;
+  /// Construction rng for MapperRegistry::create (decomposition forests,
+  /// unseeded mapper seeds). Unset: derived from the service seed and the
+  /// job's submission index.
+  std::optional<Rng> construction_rng;
+};
+
+/// What a finished job yields.
+struct MapJobResult {
+  MapReport report;
+  /// `report.mapping` priced by the reporting protocol (== the report's
+  /// predicted makespan when `reporting_orders == 0`).
+  double reported_makespan = 0.0;
+  /// Reporting-evaluator makespan of the all-CPU default mapping (0 when
+  /// `reporting_orders == 0`).
+  double baseline_makespan = 0.0;
+  /// Wall clock of mapper construction + run (the paper's end-to-end
+  /// mapper time, matching the scenario runner's timing).
+  double wall_seconds = 0.0;
+  /// Non-empty iff the job failed (bad spec, mapper exception).
+  std::string error;
+};
+
+struct MappingServiceOptions {
+  /// Worker threads executing jobs (>= 1; 0 is promoted to 1).
+  std::size_t workers = 1;
+  /// Base seed of the derived per-job construction rng streams.
+  std::uint64_t seed = 0x5e9e5eed;
+};
+
+class MappingService {
+ public:
+  using Options = MappingServiceOptions;
+
+  explicit MappingService(Options options = {});
+  /// Drains the queue (every submitted job still runs) and joins.
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  class JobHandle;
+
+  /// Enqueues a job; workers pick jobs up strictly FIFO. The `request`
+  /// bounds the mapper run exactly as in Mapper::map; its CancelToken is
+  /// replaced by a per-job child, so `JobHandle::cancel` stays local to
+  /// one job while cancelling the caller's original token still cancels
+  /// every job submitted with it.
+  JobHandle submit(MapJob job, MapRequest request = {});
+
+  /// Blocks until every job submitted so far is terminal.
+  void wait_all();
+
+  /// Background worker threads executing jobs (the promoted `workers`).
+  std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct JobState;
+
+  void worker_loop();
+  void execute(JobState& state);
+
+  Options options_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   // workers wait for jobs / stop
+  std::condition_variable job_done_;     // waiters in wait_all
+  std::deque<std::shared_ptr<JobState>> queue_;
+  std::uint64_t next_id_ = 0;
+  std::size_t unfinished_ = 0;  // submitted jobs not yet terminal
+  bool stopping_ = false;
+};
+
+/// Observer + controller of one submitted job. Copyable; all members are
+/// thread-safe. A default-constructed handle is empty (status kFailed).
+class MappingService::JobHandle {
+ public:
+  JobHandle() = default;
+
+  /// Submission-ordered id (also the index of the derived rng stream).
+  std::uint64_t id() const;
+  JobStatus status() const;
+  /// True once the job is terminal (done, failed, or cancelled-in-queue).
+  bool done() const;
+  /// Requests cooperative cancellation: a queued job becomes kCancelled
+  /// without running; a running job's CancelToken fires.
+  void cancel() const;
+  /// Blocks until terminal. The reference stays valid while the handle
+  /// (or service) lives — which is why wait() cannot be called on a
+  /// temporary handle (`submit(...).wait()` would dangle once the worker
+  /// drops its reference). For kCancelled-in-queue jobs the result is
+  /// empty with `error` explaining the cancellation.
+  const MapJobResult& wait() const&;
+  const MapJobResult& wait() const&& = delete;
+
+ private:
+  friend class MappingService;
+  explicit JobHandle(std::shared_ptr<JobState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<JobState> state_;
+};
+
+}  // namespace spmap

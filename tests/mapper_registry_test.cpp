@@ -62,6 +62,71 @@ TEST(MapperRegistry, UnknownNameThrowsWithKnownNames) {
   }
 }
 
+TEST(MapperRegistry, UnknownNameSuggestsNearest) {
+  Rng rng(1);
+  const Dag dag = testing::chain_dag(3);
+  const auto expect_suggestion = [&](const char* typo, const char* meant) {
+    try {
+      MapperRegistry::instance().create(typo, dag, rng);
+      FAIL() << "expected spmap::Error for '" << typo << "'";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(std::string("did you mean '") + meant + "'?"),
+                std::string::npos)
+          << typo << " -> " << what;
+    }
+  };
+  expect_suggestion("hft", "heft");
+  expect_suggestion("nsga2", "nsga");
+  expect_suggestion("anealing", "anneal");
+  expect_suggestion("spf", "sp");
+  // Nothing plausibly close: no suggestion, just the known-names list.
+  try {
+    MapperRegistry::instance().create("quicksort", dag, rng);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MapperRegistry, SeedOptionSharedHelper) {
+  // seed= pins the value; unset draws from the construction rng; negative
+  // values are rejected with a diagnostic naming the option.
+  MapperOptions pinned = MapperOptions::parse("seed=42");
+  Rng rng(7);
+  EXPECT_EQ(seed_option(pinned, rng), 42u);
+
+  Rng a(7);
+  Rng b(7);
+  const MapperOptions empty;
+  EXPECT_EQ(seed_option(empty, a), seed_option(empty, b));
+
+  MapperOptions negative = MapperOptions::parse("seed=-3");
+  try {
+    seed_option(negative, rng);
+    FAIL() << "expected spmap::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("seed"), std::string::npos) << what;
+    EXPECT_NE(what.find(">= 0"), std::string::npos) << what;
+  }
+}
+
+TEST(MapperRegistry, NegativeSeedRejectedByStochasticMappers) {
+  Rng rng(1);
+  const Dag dag = testing::chain_dag(3);
+  for (const char* spec :
+       {"nsga:seed=-1", "hillclimb:seed=-1", "anneal:seed=-1",
+        "tabu:seed=-1"}) {
+    EXPECT_THROW(MapperRegistry::instance().create(spec, dag, rng), Error)
+        << spec;
+  }
+  // ... and accepted when non-negative.
+  EXPECT_NO_THROW(
+      MapperRegistry::instance().create("anneal:seed=0,iters=1", dag, rng));
+}
+
 TEST(MapperRegistry, UnknownOptionKeyThrows) {
   Rng rng(1);
   const Dag dag = testing::chain_dag(3);

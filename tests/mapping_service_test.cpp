@@ -1,0 +1,311 @@
+/// The async MappingService job layer (serve/mapping_service.hpp): FIFO
+/// jobs with status/poll/cancel/wait, results bit-identical for every
+/// worker count, deterministic per-job seeds, and failure/cancellation
+/// lifecycles.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/generators.hpp"
+#include "model/platform.hpp"
+#include "serve/mapping_service.hpp"
+#include "sched/evaluator.hpp"
+
+namespace spmap {
+namespace {
+
+std::shared_ptr<const TaskGraph> make_graph(std::uint64_t seed,
+                                            std::size_t tasks = 30) {
+  Rng rng(seed);
+  auto tg = std::make_shared<TaskGraph>();
+  tg->dag = generate_sp_dag(tasks, rng);
+  tg->attrs = random_task_attrs(tg->dag, rng);
+  return tg;
+}
+
+std::shared_ptr<const Platform> make_platform() {
+  return std::make_shared<const Platform>(reference_platform());
+}
+
+MapJob make_job(const std::shared_ptr<const TaskGraph>& graph,
+                const std::shared_ptr<const Platform>& platform,
+                const std::string& spec) {
+  MapJob job;
+  job.mapper_spec = spec;
+  job.graph = graph;
+  job.platform = platform;
+  return job;
+}
+
+TEST(MappingService, RunsJobsAndReportsResults) {
+  const auto graph = make_graph(41);
+  const auto platform = make_platform();
+  MappingService service({.workers = 2});
+  auto heft = service.submit(make_job(graph, platform, "heft"));
+  auto spff = service.submit(make_job(graph, platform, "spff"));
+  const MapJobResult& rh = heft.wait();
+  const MapJobResult& rs = spff.wait();
+  EXPECT_TRUE(rh.error.empty()) << rh.error;
+  EXPECT_TRUE(rs.error.empty()) << rs.error;
+  EXPECT_EQ(heft.status(), JobStatus::kDone);
+  EXPECT_TRUE(heft.done());
+  EXPECT_EQ(rh.report.termination, TerminationReason::kConverged);
+  EXPECT_LT(rh.report.predicted_makespan, kInfeasible);
+  EXPECT_EQ(rh.report.mapping.size(), graph->dag.node_count());
+  // reporting skipped by default: reported == predicted, no baseline
+  EXPECT_EQ(rh.reported_makespan, rh.report.predicted_makespan);
+  EXPECT_EQ(rh.baseline_makespan, 0.0);
+}
+
+TEST(MappingService, ReportingProtocolMatchesDirectEvaluation) {
+  const auto graph = make_graph(42);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  MapJob job = make_job(graph, platform, "heft");
+  job.reporting_orders = 16;
+  const auto handle = service.submit(std::move(job));
+  const MapJobResult& r = handle.wait();
+  ASSERT_TRUE(r.error.empty()) << r.error;
+
+  const CostModel cost(graph->dag, graph->attrs, *platform);
+  const Evaluator reporting(cost, {.random_orders = 16});
+  EXPECT_EQ(r.baseline_makespan, reporting.default_mapping_makespan());
+  EXPECT_EQ(r.reported_makespan, reporting.evaluate(r.report.mapping));
+}
+
+TEST(MappingService, ResultsBitIdenticalAcrossWorkerCounts) {
+  const auto platform = make_platform();
+  std::vector<std::shared_ptr<const TaskGraph>> graphs;
+  for (std::uint64_t s = 0; s < 4; ++s) graphs.push_back(make_graph(50 + s));
+  const std::vector<std::string> specs{"heft", "spff",
+                                       "anneal:iters=500,seed=3", "sn"};
+
+  auto run_all = [&](std::size_t workers) {
+    MappingService service({.workers = workers});
+    std::vector<MappingService::JobHandle> handles;
+    for (const auto& graph : graphs) {
+      for (const auto& spec : specs) {
+        MapJob job = make_job(graph, platform, spec);
+        job.reporting_orders = 8;
+        handles.push_back(service.submit(std::move(job)));
+      }
+    }
+    std::vector<MapJobResult> results;
+    for (auto& h : handles) results.push_back(h.wait());
+    return results;
+  };
+
+  const auto serial = run_all(1);
+  const auto parallel = run_all(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].error.empty()) << serial[i].error;
+    EXPECT_EQ(serial[i].report.mapping, parallel[i].report.mapping) << i;
+    EXPECT_EQ(serial[i].report.predicted_makespan,
+              parallel[i].report.predicted_makespan)
+        << i;
+    EXPECT_EQ(serial[i].reported_makespan, parallel[i].reported_makespan)
+        << i;
+    EXPECT_EQ(serial[i].baseline_makespan, parallel[i].baseline_makespan)
+        << i;
+  }
+}
+
+TEST(MappingService, DerivedJobSeedsAreDeterministic) {
+  const auto graph = make_graph(60);
+  const auto platform = make_platform();
+  // "sp" consumes the construction rng (random cut policy): two services
+  // with the same seed must derive the same per-job streams; a different
+  // service seed may not. Unseeded stochastic mappers draw from the same
+  // stream too.
+  auto run_one = [&](std::uint64_t seed) {
+    MappingService service({.workers = 1, .seed = seed});
+    const auto handle =
+        service.submit(make_job(graph, platform, "anneal:iters=300"));
+    const MapJobResult& r = handle.wait();
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    return r.report.mapping;
+  };
+  const Mapping a = run_one(7);
+  const Mapping b = run_one(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MappingService, ExplicitConstructionRngPinsTheRun) {
+  const auto graph = make_graph(61);
+  const auto platform = make_platform();
+  auto run_one = [&](std::uint64_t service_seed) {
+    MappingService service({.workers = 1, .seed = service_seed});
+    MapJob job = make_job(graph, platform, "anneal:iters=300");
+    job.construction_rng = Rng(123);
+    const auto handle = service.submit(std::move(job));
+    const MapJobResult& r = handle.wait();
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    return r.report.mapping;
+  };
+  // Different service seeds, same pinned rng: identical runs.
+  EXPECT_EQ(run_one(1), run_one(2));
+}
+
+TEST(MappingService, FailedJobExplains) {
+  const auto graph = make_graph(62);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  auto handle = service.submit(make_job(graph, platform, "hft"));
+  const MapJobResult& r = handle.wait();
+  EXPECT_EQ(handle.status(), JobStatus::kFailed);
+  EXPECT_NE(r.error.find("unknown mapper"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("did you mean 'heft'?"), std::string::npos)
+      << r.error;
+}
+
+TEST(MappingService, CancelQueuedJobSkipsExecution) {
+  const auto graph = make_graph(63);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  // Occupy the single worker, then cancel a queued job before it runs.
+  MapRequest slow;
+  slow.deadline_ms = 200.0;
+  auto running = service.submit(
+      make_job(graph, platform, "anneal:iters=500000000"), slow);
+  auto queued = service.submit(make_job(graph, platform, "heft"));
+  queued.cancel();
+  EXPECT_EQ(queued.wait().error, "cancelled before execution");
+  EXPECT_EQ(queued.status(), JobStatus::kCancelled);
+  const MapJobResult& r = running.wait();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+}
+
+TEST(MappingService, CancelRunningJobReturnsIncumbent) {
+  const auto graph = make_graph(64);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  auto handle = service.submit(
+      make_job(graph, platform, "anneal:iters=500000000,restarts=4"));
+  // Poll until the worker picked it up, then cancel cooperatively.
+  while (handle.status() == JobStatus::kQueued) {
+    std::this_thread::yield();
+  }
+  handle.cancel();
+  const MapJobResult& r = handle.wait();
+  EXPECT_EQ(handle.status(), JobStatus::kDone);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.report.termination, TerminationReason::kCancelled);
+  EXPECT_LT(r.report.predicted_makespan, kInfeasible);
+}
+
+TEST(MappingService, WaitAllDrainsTheQueue) {
+  const auto graph = make_graph(65, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 3});
+  std::vector<MappingService::JobHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(service.submit(make_job(graph, platform, "heft")));
+  }
+  service.wait_all();
+  for (auto& h : handles) {
+    EXPECT_TRUE(h.done());
+    EXPECT_EQ(h.status(), JobStatus::kDone);
+  }
+}
+
+TEST(MappingService, JobIdsFollowSubmissionOrder) {
+  const auto graph = make_graph(66, 10);
+  const auto platform = make_platform();
+  MappingService service({.workers = 2});
+  auto a = service.submit(make_job(graph, platform, "cpu"));
+  auto b = service.submit(make_job(graph, platform, "cpu"));
+  EXPECT_EQ(a.id() + 1, b.id());
+  service.wait_all();
+}
+
+TEST(MappingService, RequestBoundsApplyPerJob) {
+  const auto graph = make_graph(67);
+  const auto platform = make_platform();
+  MappingService service({.workers = 2});
+  MapRequest budget;
+  budget.max_iterations = 50;
+  auto handle = service.submit(
+      make_job(graph, platform, "hillclimb:iters=5000,seed=2"), budget);
+  const MapJobResult& r = handle.wait();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.report.termination, TerminationReason::kBudgetExhausted);
+  EXPECT_EQ(r.report.iterations, 50u);
+}
+
+TEST(MappingService, BakedSpecBoundsApplyWithoutExplicitRequest) {
+  const auto graph = make_graph(68);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  // No submit-time request: the bounds baked into the spec must bind.
+  auto handle = service.submit(
+      make_job(graph, platform, "hillclimb:iters=5000,seed=2,max_iters=50"));
+  const MapJobResult& r = handle.wait();
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.report.termination, TerminationReason::kBudgetExhausted);
+  EXPECT_EQ(r.report.iterations, 50u);
+
+  // ... and tighten, not shadow, an explicit submit-time request.
+  MapRequest loose;
+  loose.max_iterations = 10000;
+  auto tightened = service.submit(
+      make_job(graph, platform, "hillclimb:iters=5000,seed=2,max_iters=50"),
+      loose);
+  EXPECT_EQ(tightened.wait().report.iterations, 50u);
+}
+
+TEST(MappingService, SharedReportingContextMatchesPerJobReporting) {
+  const auto graph = make_graph(69);
+  const auto platform = make_platform();
+  const auto shared =
+      std::make_shared<const ReportingContext>(graph, platform, 16);
+  MappingService service({.workers = 2});
+
+  MapJob with_context = make_job(graph, platform, "heft");
+  with_context.reporting = shared;
+  MapJob per_job = make_job(graph, platform, "heft");
+  per_job.reporting_orders = 16;
+
+  auto a = service.submit(std::move(with_context));
+  auto b = service.submit(std::move(per_job));
+  const MapJobResult& ra = a.wait();
+  const MapJobResult& rb = b.wait();
+  ASSERT_TRUE(ra.error.empty()) << ra.error;
+  ASSERT_TRUE(rb.error.empty()) << rb.error;
+  EXPECT_EQ(ra.reported_makespan, rb.reported_makespan);
+  EXPECT_EQ(ra.baseline_makespan, rb.baseline_makespan);
+}
+
+TEST(MappingService, CancelIsPerJobEvenWithASharedRequest) {
+  const auto graph = make_graph(70, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 2});
+  MapRequest shared;  // one request object for the whole batch
+  auto a = service.submit(make_job(graph, platform, "heft"), shared);
+  auto b = service.submit(make_job(graph, platform, "heft"), shared);
+  auto c = service.submit(make_job(graph, platform, "heft"), shared);
+  b.cancel();
+  const MapJobResult& ra = a.wait();
+  const MapJobResult& rc = c.wait();
+  EXPECT_TRUE(ra.error.empty()) << ra.error;
+  EXPECT_TRUE(rc.error.empty()) << rc.error;
+  // Cancelling b never leaks into its siblings...
+  EXPECT_EQ(ra.report.termination, TerminationReason::kConverged);
+  EXPECT_EQ(rc.report.termination, TerminationReason::kConverged);
+  // ...while the caller's own token still cancels the whole batch.
+  shared.cancel.request_cancel();
+  auto d = service.submit(make_job(graph, platform, "heft"), shared);
+  EXPECT_EQ(d.wait().report.termination, TerminationReason::kCancelled);
+}
+
+TEST(MappingService, StatusLabels) {
+  EXPECT_STREQ(to_string(JobStatus::kQueued), "queued");
+  EXPECT_STREQ(to_string(JobStatus::kRunning), "running");
+  EXPECT_STREQ(to_string(JobStatus::kDone), "done");
+  EXPECT_STREQ(to_string(JobStatus::kFailed), "failed");
+  EXPECT_STREQ(to_string(JobStatus::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace spmap

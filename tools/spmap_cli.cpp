@@ -6,11 +6,17 @@
 ///   decompose     Print the series-parallel decomposition forest of a
 ///                 graph.
 ///   map           Run a mapping algorithm and print mapping + makespan
-///                 (+ optional Gantt chart / schedule JSON).
+///                 (+ optional Gantt chart / schedule JSON). Takes the
+///                 anytime run API bounds: --deadline-ms, --max-evals,
+///                 --max-iters, --cancel-after-ms.
 ///   evaluate      Evaluate an explicit mapping.
 ///   sweep         Run a declarative scenario file (platform + workload +
 ///                 mapper line-up; see docs/FORMATS.md) and write a
 ///                 machine-readable results file.
+///   serve         Run a scenario through the async MappingService job
+///                 layer: --jobs N workers, per-job lifecycle lines on
+///                 stderr, same results document as sweep (bit-identical
+///                 to the serial runner).
 ///   list-mappers  Print the MapperRegistry: every algorithm with its
 ///                 description and default (paper) parameters
 ///                 (--markdown emits the docs/README table).
@@ -26,12 +32,19 @@
 ///   spmap_cli map --in g.json --mapper nsga:generations=50,pop=100
 ///   spmap_cli evaluate --in g.json --mapping 0,0,1,2,0,...
 ///   spmap_cli sweep --scenario scenarios/examples/fig4_small.json --out r.json
+///   spmap_cli serve --scenario scenarios/examples/fig4_small.json --jobs 4
+///   spmap_cli map --in g.json --mapper anneal:iters=1000000 --deadline-ms 50
 ///   spmap_cli list-mappers
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "bench/scenario.hpp"
 #include "bench/scenario_runner.hpp"
@@ -52,6 +65,37 @@ using namespace spmap;
 
 namespace {
 
+/// Fires a CancelToken after a delay unless destroyed first. The
+/// destructor wakes and joins the timer thread immediately, so the CLI
+/// neither lingers for the full delay after a fast run nor terminates on
+/// exception unwind with a joinable thread.
+class DelayedCancel {
+ public:
+  DelayedCancel(CancelToken token, double after_ms)
+      : thread_([this, token, after_ms] {
+          std::unique_lock<std::mutex> lock(mutex_);
+          const bool dismissed = dismissed_cv_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(after_ms),
+              [this] { return dismissed_; });
+          if (!dismissed) token.request_cancel();
+        }) {}
+
+  ~DelayedCancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dismissed_ = true;
+    }
+    dismissed_cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable dismissed_cv_;
+  bool dismissed_ = false;
+  std::thread thread_;
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage: spmap_cli "
@@ -64,12 +108,17 @@ int usage() {
                "[--out FILE]\n"
                "  decompose    --in FILE [--seed S] [--dot]\n"
                "  map          --in FILE --mapper NAME[:key=value,...] "
-               "[--seed S] [--gantt] [--schedule-json] [--random-orders N]\n"
+               "[--seed S] [--gantt] [--schedule-json] [--random-orders N] "
+               "[--deadline-ms MS] [--max-evals N] [--max-iters N] "
+               "[--cancel-after-ms MS]\n"
                "  evaluate     --in FILE --mapping 0,1,2,... "
                "[--random-orders N]\n"
                "  sweep        --scenario FILE [--out FILE] [--threads N] "
                "[--seed S] [--repetitions N] [--quiet]   (run a declarative "
                "scenario; see docs/FORMATS.md)\n"
+               "  serve        --scenario FILE --jobs N [--out FILE] "
+               "[--seed S] [--repetitions N] [--quiet]   (run a scenario "
+               "through the MappingService job layer)\n"
                "  list-mappers [--verbose] [--markdown]   (all registered "
                "algorithm names, descriptions, default parameters)\n");
   return 2;
@@ -213,7 +262,8 @@ int cmd_list_mappers(int argc, char** argv) {
 int cmd_map(int argc, char** argv) {
   const Flags flags(argc, argv,
                     {"in", "mapper", "seed", "gantt", "schedule-json",
-                     "random-orders"});
+                     "random-orders", "deadline-ms", "max-evals",
+                     "max-iters", "cancel-after-ms"});
   const TaskGraph tg = task_graph_from_json(read_file(flags.get("in", "")));
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   const Platform platform = reference_platform();
@@ -222,14 +272,38 @@ int cmd_map(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("random-orders", 100));
   const Evaluator eval(cost, {.random_orders = orders});
 
+  // Anytime run bounds (run_api.hpp): deadline, budgets, and an optional
+  // delayed cancellation that exercises the cooperative CancelToken.
+  MapRequest request;
+  request.deadline_ms = flags.get_double("deadline-ms", 0.0);
+  require(request.deadline_ms >= 0.0, "map: --deadline-ms must be >= 0");
+  const std::int64_t max_evals = flags.get_int("max-evals", 0);
+  require(max_evals >= 0, "map: --max-evals must be >= 0");
+  request.max_evaluations = static_cast<std::size_t>(max_evals);
+  const std::int64_t max_iters = flags.get_int("max-iters", 0);
+  require(max_iters >= 0, "map: --max-iters must be >= 0");
+  request.max_iterations = static_cast<std::size_t>(max_iters);
+  std::optional<DelayedCancel> canceller;
+  if (flags.has("cancel-after-ms")) {
+    canceller.emplace(request.cancel,
+                      flags.get_double("cancel-after-ms", 0.0));
+  }
+
   auto mapper = MapperRegistry::instance().create(flags.get("mapper", "spff"),
                                                   tg.dag, rng);
-  const MapperResult r = mapper->map(eval);
+  const MapReport r = mapper->map(
+      eval, merge_run_bounds(mapper->default_request(), request));
+  canceller.reset();
   const double baseline = eval.default_mapping_makespan();
   std::printf("mapper=%s makespan=%.6f baseline=%.6f improvement=%.2f%%\n",
               mapper->name().c_str(), r.predicted_makespan, baseline,
               100.0 * std::max(0.0, (baseline - r.predicted_makespan) /
                                         baseline));
+  std::printf(
+      "termination=%s iterations=%zu evaluations=%zu wall_ms=%.3f "
+      "incumbents=%zu\n",
+      to_string(r.termination), r.iterations, r.evaluations,
+      1e3 * r.wall_seconds, r.trajectory.size());
   std::printf("mapping=");
   for (std::size_t i = 0; i < r.mapping.size(); ++i) {
     std::printf("%s%u", i ? "," : "", r.mapping.device[i].v);
@@ -246,26 +320,35 @@ int cmd_map(int argc, char** argv) {
   return 0;
 }
 
-int cmd_sweep(int argc, char** argv) {
+/// Shared body of `sweep` and `serve`: both run a declarative scenario
+/// through the MappingService-backed runner and emit the same
+/// `spmap-sweep-results/1` document; serve sizes the worker pool with
+/// --jobs and narrates each job's lifecycle on stderr.
+int run_scenario_command(int argc, char** argv, bool serve) {
+  const char* cmd = serve ? "serve" : "sweep";
   const Flags flags(argc, argv,
-                    {"scenario", "out", "threads", "seed", "repetitions",
-                     "quiet"});
+                    {"scenario", "out", serve ? "jobs" : "threads", "seed",
+                     "repetitions", "quiet"});
   const std::string path = flags.get("scenario", "");
-  require(!path.empty(), "sweep: --scenario FILE is required");
+  require(!path.empty(),
+          std::string(cmd) + ": --scenario FILE is required");
   Scenario scenario = load_scenario_file(path);
   if (flags.has("seed")) {
     scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   }
   if (flags.has("repetitions")) {
     const auto reps = flags.get_int("repetitions", 1);
-    require(reps >= 1, "sweep: --repetitions must be >= 1");
+    require(reps >= 1,
+            std::string(cmd) + ": --repetitions must be >= 1");
     scenario.repetitions = static_cast<std::size_t>(reps);
   }
   SweepRunOptions options;
-  const auto threads = flags.get_int("threads", 1);
-  require(threads >= 1, "sweep: --threads must be >= 1");
-  options.threads = static_cast<std::size_t>(threads);
+  const auto workers = flags.get_int(serve ? "jobs" : "threads", 1);
+  require(workers >= 1, std::string(cmd) + (serve ? ": --jobs must be >= 1"
+                                                  : ": --threads must be >= 1"));
+  options.threads = static_cast<std::size_t>(workers);
   options.progress = !flags.get_bool("quiet", false);
+  options.log_jobs = serve && !flags.get_bool("quiet", false);
 
   const std::string out = flags.get("out", "");
   if (out.empty()) {
@@ -276,6 +359,14 @@ int cmd_sweep(int argc, char** argv) {
     run_report_write(scenario, options, out, std::cout);
   }
   return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  return run_scenario_command(argc, argv, /*serve=*/false);
+}
+
+int cmd_serve(int argc, char** argv) {
+  return run_scenario_command(argc, argv, /*serve=*/true);
 }
 
 int cmd_evaluate(int argc, char** argv) {
@@ -319,6 +410,7 @@ int main(int argc, char** argv) {
     if (cmd == "map") return cmd_map(argc - 1, argv + 1);
     if (cmd == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
     if (cmd == "list-mappers") return cmd_list_mappers(argc - 1, argv + 1);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "spmap_cli: %s\n", ex.what());
