@@ -1,0 +1,57 @@
+#pragma once
+/// \file client.hpp
+/// Minimal blocking `spmap-wire/1` client: connect, handshake, send
+/// frames, receive frames with a timeout. Shared by the load generator
+/// (src/serve/loadgen.hpp), the serving benchmark and the daemon tests —
+/// one client implementation, so a protocol change breaks loudly in one
+/// place instead of quietly in three.
+///
+/// ## Thread-safety
+///
+/// None: one WireClient belongs to one thread (the loadgen runs one per
+/// simulated session).
+
+#include <optional>
+#include <string>
+
+#include "serve/wire.hpp"
+#include "util/socket.hpp"
+
+namespace spmap {
+
+class WireClient {
+ public:
+  /// Connects (retrying "daemon still starting" failures for
+  /// `connect_timeout_ms`) and performs the `hello` handshake. Throws
+  /// spmap::Error when the endpoint stays unreachable or the handshake is
+  /// refused.
+  WireClient(const Endpoint& endpoint, double connect_timeout_ms = 5000.0,
+             std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Sends one frame (the '\n' is appended here). Throws spmap::Error on
+  /// a dead connection.
+  void send(const Json& frame);
+  void send_raw(const std::string& line);
+
+  /// The next frame, in arrival order, waiting up to `timeout_ms`
+  /// (<= 0: wait forever). std::nullopt on timeout; throws spmap::Error
+  /// on EOF/connection loss or a frame that is not a JSON object.
+  std::optional<Json> recv(double timeout_ms = -1.0);
+
+  /// Skips frames until one with `"event" == event` arrives (responses
+  /// and other events are discarded). std::nullopt on timeout.
+  std::optional<Json> recv_event(const std::string& event,
+                                 double timeout_ms = -1.0);
+
+  /// The server-info fields the handshake answered with.
+  const Json& hello_info() const { return hello_info_; }
+
+ private:
+  Socket socket_;
+  FrameReader reader_;
+  std::vector<std::string> pending_;
+  std::size_t pending_next_ = 0;
+  Json hello_info_;
+};
+
+}  // namespace spmap

@@ -1,0 +1,658 @@
+#include "serve/daemon.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdarg>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "mappers/registry.hpp"
+#include "model/platform.hpp"
+#include "model/platform_io.hpp"
+#include "util/error.hpp"
+#include "workflows/workflows.hpp"
+
+namespace spmap {
+
+namespace {
+
+/// Backpressure on the *write* side: a peer that stops reading while
+/// subscribed to a chatty job would otherwise grow our buffer without
+/// bound. Past this, the connection is dropped.
+constexpr std::size_t kMaxOutbufBytes = 64u << 20;
+
+/// Signal-handler bridge: handlers may only touch lock-free state and
+/// async-signal-safe calls, so they set a flag and poke the self-pipe.
+std::atomic<int> g_signal_wake_fd{-1};
+std::atomic<bool> g_signal_drain{false};
+
+void signal_drain_handler(int) {
+  g_signal_drain.store(true, std::memory_order_relaxed);
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+WorkflowFamily family_by_name(const std::string& name) {
+  for (const WorkflowFamily f : all_workflow_families()) {
+    if (name == workflow_family_name(f)) return f;
+  }
+  throw Error("unknown workflow family: " + name);
+}
+
+std::size_t generate_count(const Json& spec, const char* key,
+                           std::size_t fallback) {
+  if (!spec.contains(key)) return fallback;
+  const Json& v = spec.at(key);
+  require(v.is_number() && v.as_double() >= 0.0,
+          std::string("generate.") + key + " must be a non-negative number");
+  return static_cast<std::size_t>(v.as_int());
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  MappingServiceOptions service_options;
+  service_options.workers = options_.workers;
+  service_options.seed = options_.seed;
+  service_options.max_queued = options_.max_queued;
+  service_options.when_full = QueueFullPolicy::kReject;
+  service_ = std::make_unique<MappingService>(service_options);
+
+  int pipe_fds[2];
+  require(::pipe(pipe_fds) == 0, "Daemon: cannot create the wake pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+
+  reference_platform_ =
+      std::make_shared<const Platform>(reference_platform());
+}
+
+Daemon::~Daemon() {
+  int expected = wake_write_;
+  g_signal_wake_fd.compare_exchange_strong(expected, -1);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  // service_ destructs last-ish: jobs_ holds handles only, and the
+  // service destructor drains and joins its workers.
+}
+
+void Daemon::bind() {
+  listener_.emplace(options_.endpoint);
+  logf("listening on %s (workers=%zu max_queued=%zu)",
+       listener_->endpoint().to_string().c_str(), service_->worker_count(),
+       options_.max_queued);
+}
+
+const Endpoint& Daemon::endpoint() const {
+  return listener_ ? listener_->endpoint() : options_.endpoint;
+}
+
+void Daemon::request_drain(double grace_ms) {
+  if (grace_ms >= 0.0) {
+    requested_grace_ms_.store(grace_ms, std::memory_order_relaxed);
+  }
+  drain_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Daemon::begin_drain(double grace_ms) { request_drain(grace_ms); }
+
+bool Daemon::draining() const {
+  return draining_ || drain_requested_.load(std::memory_order_acquire);
+}
+
+Json Daemon::server_info() const {
+  Json info = Json::object();
+  info.set("server", Json("spmap-daemon"));
+  info.set("workers", Json(service_->worker_count()));
+  info.set("max_queued", Json(options_.max_queued));
+  return info;
+}
+
+void Daemon::wake() const {
+  if (wake_write_ < 0) return;
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+void Daemon::push_event(Event event) {
+  {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    events_.push_back(std::move(event));
+  }
+  wake();
+}
+
+void Daemon::process_events() {
+  std::deque<Event> batch;
+  {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    batch.swap(events_);
+  }
+  for (const Event& event : batch) handle_event(event);
+}
+
+void Daemon::handle_event(const Event& event) {
+  const auto it = jobs_.find(event.job);
+  if (it == jobs_.end()) return;  // evicted by retention
+  JobEntry& entry = it->second;
+
+  const auto send_to = [this](std::uint64_t session,
+                              const std::string& line) {
+    const auto conn_it = conns_.find(session);
+    if (conn_it == conns_.end() || conn_it->second.session.closed()) return;
+    enqueue_lines(conn_it->second, {line});
+  };
+
+  switch (event.kind) {
+    case Event::Kind::kIncumbent: {
+      if (entry.subscribers.empty()) return;
+      Json body = Json::object();
+      body.set("job", Json(event.job));
+      body.set("makespan", Json(event.incumbent.makespan));
+      body.set("iteration", Json(event.incumbent.iteration));
+      body.set("seconds", Json(event.incumbent.seconds));
+      const std::string line = event_line("incumbent", std::move(body));
+      for (const std::uint64_t session : entry.subscribers) {
+        send_to(session, line);
+      }
+      return;
+    }
+    case Event::Kind::kTerminal: {
+      if (entry.terminal) return;  // defensive: exactly-once upstream
+      entry.terminal = true;
+      --outstanding_;
+      const std::string line = event_line("done", status_body(event.job,
+                                                              entry));
+      logf("job %llu %s",
+           static_cast<unsigned long long>(event.job),
+           to_string(entry.handle.status()));
+      for (const std::uint64_t session : entry.subscribers) {
+        send_to(session, line);
+      }
+      completed_order_.push_back(event.job);
+      while (completed_order_.size() > options_.completed_retention) {
+        jobs_.erase(completed_order_.front());
+        completed_order_.pop_front();
+      }
+      return;
+    }
+    case Event::Kind::kReplayDone: {
+      send_to(event.session, event_line("done", status_body(event.job,
+                                                            entry)));
+      return;
+    }
+  }
+}
+
+// ---- SessionHost -----------------------------------------------------------
+
+std::size_t Daemon::class_capacity(int priority) const {
+  const std::size_t m = options_.max_queued;
+  if (priority >= 2) return m;
+  if (priority == 1) return std::max<std::size_t>(1, (3 * m) / 4);
+  return std::max<std::size_t>(1, m / 2);
+}
+
+TaskGraph graph_from_generate_spec(const Json& spec) {
+  require(spec.is_object(), "generate must be an object");
+  spec.require_keys("generate", {"type", "tasks", "extra_edges", "seed",
+                                 "family", "width"});
+  std::string type = "sp";
+  if (spec.contains("type")) {
+    require(spec.at("type").is_string(), "generate.type must be a string");
+    type = spec.at("type").as_string();
+  }
+  Rng rng(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(generate_count(spec, "seed", 1))));
+  TaskGraph tg;
+  if (type == "sp" || type == "almost-sp") {
+    tg.dag = generate_sp_dag(generate_count(spec, "tasks", 30), rng);
+    if (type == "almost-sp") {
+      tg.dag = add_random_edges(tg.dag, generate_count(spec, "extra_edges",
+                                                       10),
+                                rng);
+    }
+    tg.attrs = random_task_attrs(tg.dag, rng);
+  } else if (type == "workflow") {
+    std::string family = "montage";
+    if (spec.contains("family")) {
+      require(spec.at("family").is_string(),
+              "generate.family must be a string");
+      family = spec.at("family").as_string();
+    }
+    WorkflowInstance inst = generate_workflow(
+        family_by_name(family), generate_count(spec, "width", 12), rng);
+    tg.dag = std::move(inst.dag);
+    tg.attrs = std::move(inst.attrs);
+  } else {
+    throw Error("generate.type must be sp, almost-sp or workflow, got \"" +
+                type + "\"");
+  }
+  return tg;
+}
+
+std::shared_ptr<const TaskGraph> Daemon::resolve_graph(
+    const WireSubmit& request) {
+  if (request.graph.has_value()) {
+    return std::make_shared<const TaskGraph>(
+        task_graph_from_json(request.graph->dump()));
+  }
+  return std::make_shared<const TaskGraph>(
+      graph_from_generate_spec(*request.generate));
+}
+
+std::shared_ptr<const Platform> Daemon::resolve_platform(
+    const WireSubmit& request) {
+  if (!request.platform.has_value()) return reference_platform_;
+  return std::make_shared<const Platform>(
+      platform_from_json(*request.platform).platform);
+}
+
+SubmitOutcome Daemon::submit(std::uint64_t session,
+                             const WireSubmit& request) {
+  SubmitOutcome outcome;
+
+  // Graduated per-class admission, checked against a live queue snapshot.
+  // Only the IO thread submits, and workers can only *shrink* the queue
+  // between this check and the try_submit below, so the check cannot
+  // admit past the bound; try_submit is the belt-and-braces backstop.
+  if (options_.max_queued > 0) {
+    const ServiceStats stats = service_->stats();
+    const std::size_t capacity = class_capacity(request.priority);
+    if (stats.queued >= capacity) {
+      outcome.code = WireErrorCode::kOverloaded;
+      outcome.message = "queue full for class " + request.priority_class +
+                        " (queued " + std::to_string(stats.queued) +
+                        ", class capacity " + std::to_string(capacity) + ")";
+      return outcome;
+    }
+  }
+
+  MapJob job;
+  try {
+    // Eager validation: an unknown mapper name fails the submit now (with
+    // the registry's did-you-mean diagnostic) instead of failing the job
+    // asynchronously. Option typos still surface via the job's kFailed
+    // path — they need a constructed Dag to validate against.
+    (void)MapperRegistry::instance().at(
+        MapperRegistry::split_spec(request.mapper_spec).first);
+    job.graph = resolve_graph(request);
+    job.platform = resolve_platform(request);
+  } catch (const Error& ex) {
+    outcome.code = WireErrorCode::kBadRequest;
+    outcome.message = ex.what();
+    return outcome;
+  }
+
+  const std::uint64_t id = next_job_id_++;
+  job.mapper_spec = request.mapper_spec;
+  job.inner_orders = 0;
+  job.reporting_orders = request.reporting_orders;
+  job.priority = request.priority;
+  if (request.construction_seed.has_value()) {
+    job.construction_rng = Rng(*request.construction_seed);
+  }
+  // Callbacks run on worker threads: they only enqueue an event keyed by
+  // the wire id (assigned above, before any worker can fire) and wake the
+  // IO thread. The events are processed after this submit returned and
+  // the JobEntry exists.
+  job.on_terminal = [this, id](std::uint64_t, JobStatus,
+                               const MapJobResult&) {
+    Event event;
+    event.kind = Event::Kind::kTerminal;
+    event.job = id;
+    push_event(std::move(event));
+  };
+
+  MapRequest run;
+  run.deadline_ms = request.deadline_ms;
+  run.max_evaluations = request.max_evaluations;
+  run.max_iterations = request.max_iterations;
+  run.seed = request.seed;
+  run.on_incumbent = [this, id](const IncumbentRecord& record) {
+    Event event;
+    event.kind = Event::Kind::kIncumbent;
+    event.job = id;
+    event.incumbent = record;
+    push_event(std::move(event));
+  };
+
+  std::optional<MappingService::JobHandle> handle =
+      service_->try_submit(std::move(job), std::move(run));
+  if (!handle.has_value()) {
+    outcome.code = WireErrorCode::kOverloaded;
+    outcome.message = "queue full (max_queued " +
+                      std::to_string(options_.max_queued) + ")";
+    return outcome;
+  }
+
+  JobEntry entry;
+  entry.handle = *std::move(handle);
+  entry.priority_class = request.priority_class;
+  entry.want_mapping = request.want_mapping;
+  if (request.subscribe) entry.subscribers.insert(session);
+  ++outstanding_;
+  jobs_.emplace(id, std::move(entry));
+  logf("job %llu accepted (session %llu, class %s, mapper %s)",
+       static_cast<unsigned long long>(id),
+       static_cast<unsigned long long>(session),
+       request.priority_class.c_str(), request.mapper_spec.c_str());
+
+  outcome.accepted = true;
+  outcome.job = id;
+  return outcome;
+}
+
+Json Daemon::status_body(std::uint64_t id, const JobEntry& entry) const {
+  Json body = Json::object();
+  body.set("job", Json(id));
+  body.set("class", Json(entry.priority_class));
+  const JobStatus status = entry.handle.status();
+  body.set("state", Json(to_string(status)));
+  if (!entry.terminal) return body;
+
+  const MapJobResult& result = entry.handle.wait();  // terminal: immediate
+  if (status == JobStatus::kDone) {
+    body.set("makespan", Json(result.report.predicted_makespan));
+    body.set("reported_makespan", Json(result.reported_makespan));
+    body.set("baseline_makespan", Json(result.baseline_makespan));
+    body.set("termination", Json(to_string(result.report.termination)));
+    body.set("iterations", Json(result.report.iterations));
+    body.set("evaluations", Json(result.report.evaluations));
+    body.set("incumbents", Json(result.report.trajectory.size()));
+    body.set("wall_ms", Json(1e3 * result.wall_seconds));
+    if (entry.want_mapping) {
+      Json mapping = Json::array();
+      for (std::size_t i = 0; i < result.report.mapping.size(); ++i) {
+        mapping.push_back(
+            Json(static_cast<std::size_t>(result.report.mapping.device[i].v)));
+      }
+      body.set("mapping", std::move(mapping));
+    }
+  } else {
+    body.set("error", Json(result.error));
+  }
+  return body;
+}
+
+std::optional<Json> Daemon::job_status(std::uint64_t job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return std::nullopt;
+  return status_body(job, it->second);
+}
+
+bool Daemon::cancel_job(std::uint64_t job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return false;
+  it->second.handle.cancel();
+  return true;
+}
+
+bool Daemon::subscribe(std::uint64_t session, std::uint64_t job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return false;
+  it->second.subscribers.insert(session);
+  if (it->second.terminal) {
+    // The job already finished: replay the done event to this subscriber
+    // (after the ok response — events go out in queue order).
+    Event event;
+    event.kind = Event::Kind::kReplayDone;
+    event.job = job;
+    event.session = session;
+    push_event(std::move(event));
+  }
+  return true;
+}
+
+// ---- IO loop ---------------------------------------------------------------
+
+void Daemon::accept_clients(double now) {
+  (void)now;
+  if (!listener_ || !listener_->valid()) return;
+  for (;;) {
+    Socket client = listener_->accept_client();
+    if (!client.valid()) return;
+    const std::uint64_t id = next_session_id_++;
+    SessionConfig config;
+    config.idle_timeout_s = options_.idle_timeout_s;
+    conns_.emplace(id, Conn(std::move(client), id, *this, config,
+                            options_.max_frame_bytes));
+    logf("session %llu connected", static_cast<unsigned long long>(id));
+  }
+}
+
+bool Daemon::enqueue_lines(Conn& conn,
+                           const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) conn.outbuf += line;
+  if (conn.outbuf.size() > kMaxOutbufBytes) {
+    // The peer stopped reading: drop it rather than buffer unboundedly.
+    conn.socket.close();
+    return false;
+  }
+  return flush_outbuf(conn);
+}
+
+bool Daemon::flush_outbuf(Conn& conn) {
+  if (!conn.socket.valid()) return false;
+  while (!conn.outbuf.empty()) {
+    const ssize_t n =
+        send_some(conn.socket.fd(), conn.outbuf.data(), conn.outbuf.size());
+    if (n < 0) {
+      conn.socket.close();
+      return false;
+    }
+    if (n == 0) return true;  // EAGAIN: poll will report POLLOUT
+    conn.outbuf.erase(0, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void Daemon::conn_readable(std::uint64_t id, Conn& conn, double now) {
+  (void)id;
+  char buffer[4096];
+  bool eof = false;
+  std::vector<std::string> frames;
+  for (;;) {
+    const ssize_t n = recv_some(conn.socket.fd(), buffer, sizeof(buffer));
+    if (n == 0) break;  // EAGAIN: drained the socket
+    if (n < 0) {
+      eof = true;
+      break;
+    }
+    if (!conn.reader.feed(buffer, static_cast<std::size_t>(n), frames)) {
+      break;  // overflowed: the poisoned reader stops producing
+    }
+  }
+  for (const std::string& frame : frames) {
+    if (!enqueue_lines(conn, conn.session.on_frame(frame, now))) return;
+  }
+  if (conn.reader.overflowed()) {
+    enqueue_lines(conn, conn.session.on_frame_overflow());
+    return;
+  }
+  if (eof) conn.socket.close();
+}
+
+void Daemon::reap_connections() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = it->second;
+    const bool dead = !conn.socket.valid();
+    const bool finished = conn.session.closed() && conn.outbuf.empty();
+    if (dead || finished) {
+      logf("session %llu closed (%s)",
+           static_cast<unsigned long long>(it->first),
+           dead ? "peer gone" : to_string(conn.session.state()));
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Daemon::start_drain(double now) {
+  draining_ = true;
+  double grace = requested_grace_ms_.load(std::memory_order_relaxed);
+  if (grace < 0.0) grace = options_.grace_ms;
+  grace_deadline_s_ = now + grace / 1e3;
+  hard_deadline_s_ = grace_deadline_s_ + std::max(grace, 2000.0) / 1e3;
+  if (listener_) listener_->shut();
+  logf("draining: %zu job(s) outstanding, grace %.0f ms", outstanding_,
+       grace);
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (!conn.session.closed()) {
+      enqueue_lines(conn, conn.session.on_server_drain());
+    }
+  }
+}
+
+int Daemon::run() {
+  require(listener_.has_value(), "Daemon::run() before bind()");
+  if (options_.install_signal_handlers) {
+    g_signal_wake_fd.store(wake_write_, std::memory_order_relaxed);
+    struct sigaction action {};
+    action.sa_handler = signal_drain_handler;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+  }
+
+  bool drain_failed = false;
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = none)
+
+  for (;;) {
+    const double now = clock_.seconds();
+    if (g_signal_drain.exchange(false, std::memory_order_relaxed)) {
+      logf("signal received: draining");
+      request_drain(-1.0);
+    }
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      start_drain(now);
+    }
+    process_events();
+
+    if (draining_) {
+      if (outstanding_ == 0) break;  // every job terminal: finish up
+      if (!cancelled_in_flight_ && now >= grace_deadline_s_) {
+        cancelled_in_flight_ = true;
+        logf("grace deadline: cancelling %zu outstanding job(s)",
+             outstanding_);
+        for (auto& [id, entry] : jobs_) {
+          (void)id;
+          if (!entry.terminal) entry.handle.cancel();
+        }
+      }
+      if (now >= hard_deadline_s_) {
+        // Last chance: give each job a short timed wait, then abandon.
+        for (auto& [id, entry] : jobs_) {
+          (void)id;
+          if (!entry.terminal) (void)entry.handle.wait_for(50.0);
+        }
+        process_events();
+        if (outstanding_ > 0) {
+          logf("hard deadline: abandoning %zu job(s)", outstanding_);
+          drain_failed = true;
+        }
+        break;
+      }
+    }
+
+    // Periodic housekeeping before sleeping.
+    if (options_.idle_timeout_s > 0.0) {
+      for (auto& [id, conn] : conns_) {
+        (void)id;
+        if (!conn.session.closed()) {
+          enqueue_lines(conn, conn.session.on_idle_check(now));
+        }
+      }
+    }
+    reap_connections();
+
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_read_, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (listener_->valid()) {
+      fds.push_back({listener_->fd(), POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn.socket.fd(), events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0 && errno != EINTR) {
+      throw Error(std::string("Daemon: poll failed: ") +
+                  std::strerror(errno));
+    }
+    if (rc <= 0) continue;
+
+    const double after = clock_.seconds();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_read_) {
+        char sink[256];
+        while (::read(wake_read_, sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (listener_->valid() && fds[i].fd == listener_->fd()) {
+        accept_clients(after);
+        continue;
+      }
+      const auto it = conns_.find(fd_conn[i]);
+      if (it == conns_.end() || !it->second.socket.valid()) continue;
+      Conn& conn = it->second;
+      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        conn_readable(fd_conn[i], conn, after);
+      }
+      if (conn.socket.valid() && (fds[i].revents & POLLOUT)) {
+        flush_outbuf(conn);
+      }
+    }
+  }
+
+  // Finish: say goodbye, flush what we can, close everything.
+  process_events();
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (conn.socket.valid() && !conn.session.closed()) {
+      enqueue_lines(conn, {event_line(
+                              "closing",
+                              Json(Json::Object{{"reason", Json("drained")}}))});
+    }
+  }
+  conns_.clear();
+  if (listener_) listener_->shut();
+  logf("drain %s", drain_failed ? "abandoned jobs (exit 1)" : "complete");
+  return drain_failed ? 1 : 0;
+}
+
+void Daemon::logf(const char* fmt, ...) const {
+  if (options_.log == nullptr) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fputs("[spmap-daemon] ", options_.log);
+  std::vfprintf(options_.log, fmt, args);
+  std::fputc('\n', options_.log);
+  va_end(args);
+  std::fflush(options_.log);
+}
+
+}  // namespace spmap

@@ -1,0 +1,216 @@
+#pragma once
+/// \file daemon.hpp
+/// The spmap serving daemon: a socket front-end over MappingService.
+///
+/// One `Daemon` is one listening endpoint (unix-domain or TCP, see
+/// util/socket.hpp) speaking `spmap-wire/1` (serve/wire.hpp). The design
+/// splits three layers with distinct threading rules:
+///
+///  * **IO thread** — the thread calling `run()` owns a single poll()
+///    loop: the listener, every connection's buffers, every `Session`
+///    FSM (serve/session.hpp), and the job table. No connection state is
+///    ever touched from another thread.
+///  * **Worker threads** — the embedded `MappingService` executes jobs.
+///    Its callbacks (`on_incumbent`, `on_terminal`) run on workers; they
+///    only append to a mutex-protected event queue and write one byte to
+///    a self-pipe, which wakes the IO thread to fan events out to
+///    subscribed connections.
+///  * **Anyone** — `request_drain()` is safe from any thread and from
+///    signal handlers via the same self-pipe (the CLI installs
+///    SIGTERM/SIGINT handlers that call it).
+///
+/// ## Admission
+///
+/// The service queue is bounded by `max_queued` (running jobs excluded).
+/// Submissions are admitted per priority class against *graduated*
+/// thresholds — high may fill the whole queue, normal 3/4 of it, low
+/// half — so under overload the daemon sheds its least urgent traffic
+/// first while high-priority clients still get through. A rejected
+/// submit answers `{"ok":false,"error":{"code":"overloaded",...}}`; the
+/// connection survives and may retry.
+///
+/// ## Drain
+///
+/// `request_drain(grace_ms)` (also the wire `drain` verb and SIGTERM):
+/// the listener closes, every session is notified (`draining` event) and
+/// moved to its draining state (submits refused, status/cancel/subscribe
+/// still served), and in-flight jobs get `grace_ms` to finish. Jobs
+/// still live at the grace deadline are cancelled (cooperative, they
+/// return their incumbents); jobs still live at the hard deadline
+/// (grace + max(grace, 2s)) are abandoned and `run()` returns 1. A
+/// clean drain — every job terminal, every `done` event flushed —
+/// returns 0.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/mapping_service.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+#include "util/socket.hpp"
+#include "util/timer.hpp"
+
+namespace spmap {
+
+/// Builds a task graph from a wire `generate` spec ({type, tasks, seed,
+/// extra_edges, family, width}; see docs/SERVING.md). Shared by the
+/// daemon's submit path and the load generator's local bit-identity
+/// verification, so the two generation paths cannot drift apart.
+TaskGraph graph_from_generate_spec(const Json& spec);
+
+struct DaemonOptions {
+  /// Where to listen (unix:PATH or tcp:HOST:PORT; tcp port 0 lets the
+  /// kernel pick — read the bound port back from `Daemon::endpoint()`).
+  Endpoint endpoint;
+  /// MappingService worker threads executing jobs.
+  std::size_t workers = 2;
+  /// Bound on jobs waiting for a worker; 0 = unbounded (no admission).
+  std::size_t max_queued = 64;
+  /// Seconds of connection inactivity before an idle close; 0 disables.
+  double idle_timeout_s = 0.0;
+  /// Default drain grace (finish window before in-flight cancellation).
+  double grace_ms = 5000.0;
+  /// Frame length limit (serve/wire.hpp).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Service seed: derives the construction rng stream of jobs that do
+  /// not pin `construction_seed` themselves.
+  std::uint64_t seed = 0x5e9e5eed;
+  /// Terminal jobs kept addressable for status/subscribe; older ones are
+  /// evicted FIFO (bounds daemon memory under sustained load).
+  std::size_t completed_retention = 1024;
+  /// Install SIGTERM/SIGINT handlers that trigger a graceful drain
+  /// (process-global: for the CLI, not for embedded/test daemons).
+  bool install_signal_handlers = false;
+  /// Lifecycle log sink (connections, jobs, drain); nullptr = silent.
+  std::FILE* log = nullptr;
+};
+
+class Daemon : public SessionHost {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon() override;
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds and listens. Throws spmap::Error on a taken endpoint (a live
+  /// unix socket) or bind failure. Must precede run().
+  void bind();
+
+  /// The bound endpoint — for tcp port 0 this carries the real port.
+  const Endpoint& endpoint() const;
+
+  /// The IO loop: serves until a drain completes. Returns 0 for a clean
+  /// drain, 1 when jobs had to be abandoned at the hard deadline.
+  int run();
+
+  /// Triggers a graceful drain (grace_ms < 0: the configured default).
+  /// Safe from any thread and from signal handlers.
+  void request_drain(double grace_ms = -1.0);
+
+  /// Snapshot of the embedded service's admission/lifecycle counters.
+  ServiceStats service_stats() const { return service_->stats(); }
+
+  // ---- SessionHost (IO thread only) ----
+  SubmitOutcome submit(std::uint64_t session,
+                       const WireSubmit& request) override;
+  std::optional<Json> job_status(std::uint64_t job) override;
+  bool cancel_job(std::uint64_t job) override;
+  bool subscribe(std::uint64_t session, std::uint64_t job) override;
+  void begin_drain(double grace_ms) override;
+  bool draining() const override;
+  Json server_info() const override;
+
+ private:
+  /// One accepted connection: socket, protocol FSM, buffers.
+  struct Conn {
+    Socket socket;
+    Session session;
+    FrameReader reader;
+    std::string outbuf;
+
+    Conn(Socket s, std::uint64_t id, SessionHost& host, SessionConfig config,
+         std::size_t max_frame)
+        : socket(std::move(s)),
+          session(id, host, config),
+          reader(max_frame) {}
+  };
+
+  /// One submitted job as the wire sees it (IO thread only).
+  struct JobEntry {
+    MappingService::JobHandle handle;
+    std::string priority_class;
+    bool want_mapping = false;
+    bool terminal = false;
+    std::set<std::uint64_t> subscribers;  ///< session ids
+  };
+
+  /// Worker-to-IO-thread notification (see the header comment).
+  struct Event {
+    enum class Kind { kIncumbent, kTerminal, kReplayDone } kind;
+    std::uint64_t job = 0;
+    IncumbentRecord incumbent;   ///< kIncumbent
+    std::uint64_t session = 0;   ///< kReplayDone target
+  };
+
+  void wake() const;
+  void push_event(Event event);
+  void process_events();
+  void handle_event(const Event& event);
+
+  void accept_clients(double now);
+  void conn_readable(std::uint64_t id, Conn& conn, double now);
+  /// Appends lines and flushes; false when the connection died.
+  bool enqueue_lines(Conn& conn, const std::vector<std::string>& lines);
+  bool flush_outbuf(Conn& conn);
+  void reap_connections();
+
+  void start_drain(double now);
+  /// Graduated per-class admission bound (see the header comment).
+  std::size_t class_capacity(int priority) const;
+
+  std::shared_ptr<const TaskGraph> resolve_graph(const WireSubmit& request);
+  std::shared_ptr<const Platform> resolve_platform(const WireSubmit& request);
+  Json status_body(std::uint64_t id, const JobEntry& entry) const;
+
+  void logf(const char* fmt, ...) const;
+
+  DaemonOptions options_;
+  std::unique_ptr<MappingService> service_;
+  std::optional<ListenSocket> listener_;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+
+  WallTimer clock_;  ///< the IO loop's monotonic time base (seconds)
+
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::map<std::uint64_t, JobEntry> jobs_;
+  std::deque<std::uint64_t> completed_order_;  ///< retention FIFO
+  std::uint64_t next_job_id_ = 1;
+  std::size_t outstanding_ = 0;  ///< submitted, not yet terminal
+
+  std::mutex events_mutex_;
+  std::deque<Event> events_;
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<double> requested_grace_ms_{-1.0};
+  bool draining_ = false;
+  bool cancelled_in_flight_ = false;
+  double grace_deadline_s_ = 0.0;
+  double hard_deadline_s_ = 0.0;
+
+  std::shared_ptr<const Platform> reference_platform_;
+};
+
+}  // namespace spmap

@@ -1,5 +1,6 @@
 #include "serve/mapping_service.hpp"
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -63,10 +64,20 @@ struct MappingService::JobState {
   std::condition_variable terminal;
   JobStatus status = JobStatus::kQueued;
   MapJobResult result;
+  /// Guards the exactly-once `MapJob::on_terminal` invocation (the worker
+  /// path and the queued-cancel path race for it).
+  bool terminal_notified = false;
 
   bool is_terminal_locked() const {
     return status == JobStatus::kDone || status == JobStatus::kFailed ||
            status == JobStatus::kCancelled;
+  }
+
+  /// Claims the one on_terminal invocation; call under `mutex`.
+  bool claim_terminal_notification_locked() {
+    if (terminal_notified) return false;
+    terminal_notified = true;
+    return job.on_terminal != nullptr;
   }
 };
 
@@ -91,6 +102,25 @@ MappingService::~MappingService() {
 
 MappingService::JobHandle MappingService::submit(MapJob job,
                                                  MapRequest request) {
+  const bool may_block = options_.when_full == QueueFullPolicy::kBlock;
+  auto handle =
+      submit_locked(std::move(job), std::move(request), may_block,
+                    /*may_reject=*/!may_block);
+  if (!handle.has_value()) {
+    throw Error("MappingService: queue full (max_queued=" +
+                std::to_string(options_.max_queued) + ")");
+  }
+  return *std::move(handle);
+}
+
+std::optional<MappingService::JobHandle> MappingService::try_submit(
+    MapJob job, MapRequest request) {
+  return submit_locked(std::move(job), std::move(request),
+                       /*may_block=*/false, /*may_reject=*/true);
+}
+
+std::optional<MappingService::JobHandle> MappingService::submit_locked(
+    MapJob job, MapRequest request, bool may_block, bool may_reject) {
   require(!job.mapper_spec.empty(), "MappingService: empty mapper spec");
   require(job.graph != nullptr, "MappingService: job without a graph");
   require(job.platform != nullptr, "MappingService: job without a platform");
@@ -104,6 +134,16 @@ MappingService::JobHandle MappingService::submit(MapJob job,
   state->request.cancel = state->request.cancel.child();
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.max_queued > 0 && queued_count_ >= options_.max_queued) {
+      if (may_block) {
+        queue_space_.wait(
+            lock, [this] { return queued_count_ < options_.max_queued; });
+      } else {
+        ++stats_.rejected;
+        (void)may_reject;
+        return std::nullopt;
+      }
+    }
     state->id = next_id_++;
     // The per-job rng stream depends only on the submission index, never
     // on worker scheduling — the determinism contract of the header.
@@ -114,7 +154,9 @@ MappingService::JobHandle MappingService::submit(MapJob job,
       state->construction_rng = Rng(splitmix64(stream));
     }
     ++unfinished_;
-    queue_.push_back(state);
+    ++stats_.submitted;
+    ++queued_count_;
+    queues_[state->job.priority].push_back(state);
   }
   work_ready_.notify_one();
   return JobHandle(state);
@@ -125,26 +167,59 @@ void MappingService::wait_all() {
   job_done_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
+ServiceStats MappingService::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.queued = queued_count_;
+  return snapshot;
+}
+
 void MappingService::worker_loop() {
   for (;;) {
     std::shared_ptr<JobState> state;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      state = std::move(queue_.front());
-      queue_.pop_front();
+      work_ready_.wait(lock,
+                       [this] { return stopping_ || queued_count_ != 0; });
+      if (queued_count_ == 0) return;  // stopping and drained
+      // Highest waiting priority first (queues_ is ordered descending),
+      // FIFO within one priority.
+      auto it = queues_.begin();
+      state = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) queues_.erase(it);
+      --queued_count_;
     }
+    queue_space_.notify_one();
 
     bool run = false;
+    bool discarded_cancelled = false;
     {
       std::unique_lock<std::mutex> lock(state->mutex);
       if (state->status == JobStatus::kQueued) {
         state->status = JobStatus::kRunning;
         run = true;
+      } else {
+        // Cancelled while waiting: the cancel path already made it
+        // terminal (and fired on_terminal); just account for it.
+        discarded_cancelled = state->status == JobStatus::kCancelled;
       }
     }
-    if (run) execute(*state);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (run) ++stats_.running;
+      if (discarded_cancelled) ++stats_.cancelled;
+    }
+    if (run) {
+      const JobStatus final_status = execute(*state);
+      std::unique_lock<std::mutex> lock(mutex_);
+      --stats_.running;
+      if (final_status == JobStatus::kFailed) {
+        ++stats_.failed;
+      } else {
+        ++stats_.done;
+      }
+    }
 
     bool drained = false;
     {
@@ -156,7 +231,7 @@ void MappingService::worker_loop() {
   }
 }
 
-void MappingService::execute(JobState& state) {
+JobStatus MappingService::execute(JobState& state) {
   MapJobResult result;
   JobStatus final_status = JobStatus::kDone;
   try {
@@ -197,9 +272,17 @@ void MappingService::execute(JobState& state) {
     final_status = JobStatus::kFailed;
   }
 
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.result = std::move(result);
-  state.status = final_status;
+  bool fire = false;
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.result = std::move(result);
+    state.status = final_status;
+    fire = state.claim_terminal_notification_locked();
+  }
+  // Outside the job lock: the callback may touch the handle or service.
+  // No writer mutates result/status after a job turns terminal.
+  if (fire) state.job.on_terminal(state.id, final_status, state.result);
+  return final_status;
 }
 
 // ---- JobHandle ----
@@ -223,6 +306,7 @@ bool MappingService::JobHandle::done() const {
 void MappingService::JobHandle::cancel() const {
   if (state_ == nullptr) return;
   bool became_terminal = false;
+  bool fire = false;
   {
     std::unique_lock<std::mutex> lock(state_->mutex);
     if (state_->status == JobStatus::kQueued) {
@@ -231,11 +315,16 @@ void MappingService::JobHandle::cancel() const {
       state_->status = JobStatus::kCancelled;
       state_->result.error = "cancelled before execution";
       became_terminal = true;
+      fire = state_->claim_terminal_notification_locked();
     }
   }
   // Outside the job lock: the running mapper polls this token.
   state_->request.cancel.request_cancel();
   if (became_terminal) state_->terminal.notify_all();
+  if (fire) {
+    state_->job.on_terminal(state_->id, JobStatus::kCancelled,
+                            state_->result);
+  }
 }
 
 const MapJobResult& MappingService::JobHandle::wait() const& {
@@ -243,6 +332,14 @@ const MapJobResult& MappingService::JobHandle::wait() const& {
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->terminal.wait(lock, [this] { return state_->is_terminal_locked(); });
   return state_->result;
+}
+
+bool MappingService::JobHandle::wait_for(double timeout_ms) const {
+  if (state_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->terminal.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [this] { return state_->is_terminal_locked(); });
 }
 
 }  // namespace spmap

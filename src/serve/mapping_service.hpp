@@ -41,10 +41,25 @@
 /// Cancelling a *running* job triggers its CancelToken: the mapper returns
 /// its incumbent and the job completes as kDone with
 /// `report.termination == TerminationReason::kCancelled`.
+///
+/// ## Admission and priorities
+///
+/// `Options::max_queued` bounds the number of jobs *waiting* for a worker
+/// (running jobs do not count). A full queue makes `submit` follow
+/// `Options::when_full` — throw spmap::Error (kReject, the serving
+/// default) or block until a worker frees a slot (kBlock, the batch
+/// default) — while `try_submit` never blocks and returns std::nullopt
+/// instead. `MapJob::priority` orders the queue: workers always pick the
+/// highest waiting priority, FIFO within one priority, so a saturated
+/// service keeps serving its most urgent class first. `stats()` snapshots
+/// the admission counters for observability (the daemon's backpressure
+/// decisions read it).
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -115,6 +130,8 @@ class ReportingContext {
   mutable std::optional<Built> built_;
 };
 
+struct MapJobResult;
+
 /// One mapping problem. Graph and platform are shared immutable inputs
 /// (submit many jobs over one graph without copying it).
 struct MapJob {
@@ -139,6 +156,19 @@ struct MapJob {
   /// unseeded mapper seeds). Unset: derived from the service seed and the
   /// job's submission index.
   std::optional<Rng> construction_rng;
+  /// Queue priority: workers pick the highest waiting priority first,
+  /// FIFO within one priority. 0 is the normal class; the daemon maps its
+  /// wire classes low/normal/high to 0/1/2.
+  int priority = 0;
+  /// Fired exactly once when the job turns terminal (kDone / kFailed /
+  /// kCancelled), from the worker that finished it — or from the
+  /// cancelling thread for a queued-cancel. Runs outside every service
+  /// lock, so it may call any JobHandle or service member, but it must not
+  /// block: it delays that worker's next job. The serving daemon uses it
+  /// to push completion events to subscribed connections.
+  std::function<void(std::uint64_t id, JobStatus status,
+                     const MapJobResult& result)>
+      on_terminal;
 };
 
 /// What a finished job yields.
@@ -157,11 +187,33 @@ struct MapJobResult {
   std::string error;
 };
 
+/// What a full queue makes `submit` do (see the header comment).
+enum class QueueFullPolicy { kReject, kBlock };
+
 struct MappingServiceOptions {
   /// Worker threads executing jobs (>= 1; 0 is promoted to 1).
   std::size_t workers = 1;
   /// Base seed of the derived per-job construction rng streams.
   std::uint64_t seed = 0x5e9e5eed;
+  /// Bound on *waiting* jobs (running jobs excluded); 0 = unbounded.
+  std::size_t max_queued = 0;
+  /// Applied by `submit` when the queue is full; `try_submit` always
+  /// rejects (returns std::nullopt) regardless of this policy.
+  QueueFullPolicy when_full = QueueFullPolicy::kReject;
+};
+
+/// Monotonic counter snapshot (consistent: taken under one lock).
+/// `submitted == queued + running + done + failed + cancelled`; rejected
+/// submissions are counted separately and never got a JobHandle.
+struct ServiceStats {
+  std::size_t submitted = 0;  ///< accepted submissions (all time)
+  std::size_t rejected = 0;   ///< bounced by the admission bound
+  std::size_t queued = 0;     ///< currently waiting for a worker
+  std::size_t running = 0;    ///< currently executing
+  std::size_t done = 0;       ///< terminal: completed (incl. cancelled-
+                              ///< while-running, which return incumbents)
+  std::size_t failed = 0;     ///< terminal: threw (bad spec, ...)
+  std::size_t cancelled = 0;  ///< terminal: cancelled while still queued
 };
 
 class MappingService {
@@ -177,15 +229,25 @@ class MappingService {
 
   class JobHandle;
 
-  /// Enqueues a job; workers pick jobs up strictly FIFO. The `request`
-  /// bounds the mapper run exactly as in Mapper::map; its CancelToken is
-  /// replaced by a per-job child, so `JobHandle::cancel` stays local to
-  /// one job while cancelling the caller's original token still cancels
-  /// every job submitted with it.
+  /// Enqueues a job; workers pick the highest waiting priority first,
+  /// FIFO within one priority. The `request` bounds the mapper run exactly
+  /// as in Mapper::map; its CancelToken is replaced by a per-job child, so
+  /// `JobHandle::cancel` stays local to one job while cancelling the
+  /// caller's original token still cancels every job submitted with it.
+  /// A full bounded queue makes this throw spmap::Error (kReject) or wait
+  /// for a slot (kBlock).
   JobHandle submit(MapJob job, MapRequest request = {});
+
+  /// Non-blocking admission: std::nullopt when the bounded queue is full
+  /// (counted in `stats().rejected`), a live handle otherwise. Never
+  /// blocks, independent of `Options::when_full`.
+  std::optional<JobHandle> try_submit(MapJob job, MapRequest request = {});
 
   /// Blocks until every job submitted so far is terminal.
   void wait_all();
+
+  /// Consistent snapshot of the admission/lifecycle counters.
+  ServiceStats stats() const;
 
   /// Background worker threads executing jobs (the promoted `workers`).
   std::size_t worker_count() const { return workers_.size(); }
@@ -193,8 +255,10 @@ class MappingService {
  private:
   struct JobState;
 
+  std::optional<JobHandle> submit_locked(MapJob job, MapRequest request,
+                                         bool may_block, bool may_reject);
   void worker_loop();
-  void execute(JobState& state);
+  JobStatus execute(JobState& state);
 
   Options options_;
   std::vector<std::thread> workers_;
@@ -202,7 +266,12 @@ class MappingService {
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;   // workers wait for jobs / stop
   std::condition_variable job_done_;     // waiters in wait_all
-  std::deque<std::shared_ptr<JobState>> queue_;
+  std::condition_variable queue_space_;  // blocked submitters (kBlock)
+  /// Waiting jobs by priority, highest served first, FIFO within one.
+  std::map<int, std::deque<std::shared_ptr<JobState>>, std::greater<int>>
+      queues_;
+  std::size_t queued_count_ = 0;  // entries across queues_
+  ServiceStats stats_;            // queued mirrors queued_count_
   std::uint64_t next_id_ = 0;
   std::size_t unfinished_ = 0;  // submitted jobs not yet terminal
   bool stopping_ = false;
@@ -229,6 +298,10 @@ class MappingService::JobHandle {
   /// empty with `error` explaining the cancellation.
   const MapJobResult& wait() const&;
   const MapJobResult& wait() const&& = delete;
+  /// Timed wait: true once the job is terminal, false if `timeout_ms`
+  /// elapsed first — the poll-free replacement for status()-in-a-sleep-
+  /// loop callers. An empty handle is trivially terminal (true).
+  bool wait_for(double timeout_ms) const;
 
  private:
   friend class MappingService;

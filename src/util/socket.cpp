@@ -1,0 +1,222 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace spmap {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  require(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+          "not a numeric IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  require(!spec.empty(), "empty endpoint (want unix:PATH or tcp:HOST:PORT)");
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(5);
+    require(!ep.path.empty(), "unix endpoint without a path: " + spec);
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    require(colon != std::string::npos && colon > 0,
+            "tcp endpoint must be tcp:HOST:PORT: " + spec);
+    ep.kind = Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(port.c_str(), &end, 10);
+    require(end != nullptr && *end == '\0' && !port.empty() && value <= 65535,
+            "bad tcp port: " + spec);
+    ep.port = static_cast<std::uint16_t>(value);
+    return ep;
+  }
+  // A bare path is a unix socket; anything else is a typo worth naming.
+  require(spec.find('/') != std::string::npos,
+          "unrecognized endpoint (want unix:PATH or tcp:HOST:PORT): " + spec);
+  ep.kind = Kind::kUnix;
+  ep.path = spec;
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::ListenSocket(const Endpoint& endpoint, int backlog)
+    : endpoint_(endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid()) fail_errno("socket(AF_UNIX)");
+    sockaddr_un addr = unix_address(endpoint.path);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      if (errno != EADDRINUSE) fail_errno("bind " + endpoint.to_string());
+      // A socket file exists. Replace it only if it is stale (no
+      // listener answers); a live daemon keeps its endpoint.
+      Socket probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+      if (probe.valid() &&
+          ::connect(probe.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        throw Error("endpoint already served: " + endpoint.to_string());
+      }
+      ::unlink(endpoint.path.c_str());
+      if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        fail_errno("bind " + endpoint.to_string());
+      }
+    }
+    unlink_on_close_ = true;
+    if (::listen(sock.fd(), backlog) != 0) {
+      fail_errno("listen " + endpoint.to_string());
+    }
+    set_nonblocking(sock.fd());
+    socket_ = std::move(sock);
+    return;
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) fail_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = tcp_address(endpoint.host, endpoint.port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail_errno("bind " + endpoint.to_string());
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    fail_errno("listen " + endpoint.to_string());
+  }
+  // Report the ephemeral port the kernel picked for port 0 requests.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    endpoint_.port = ntohs(addr.sin_port);
+  }
+  set_nonblocking(sock.fd());
+  socket_ = std::move(sock);
+}
+
+ListenSocket::~ListenSocket() { shut(); }
+
+void ListenSocket::shut() {
+  if (!socket_.valid()) return;
+  socket_.close();
+  if (unlink_on_close_) ::unlink(endpoint_.path.c_str());
+}
+
+Socket ListenSocket::accept_client() const {
+  const int fd = ::accept4(socket_.fd(), nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  return Socket(fd);  // invalid on EAGAIN — the caller polls
+}
+
+Socket connect_endpoint(const Endpoint& endpoint, double retry_for_ms) {
+  const WallTimer timer;
+  for (;;) {
+    Socket sock(::socket(
+        endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET,
+        SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid()) fail_errno("socket");
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      sockaddr_un addr = unix_address(endpoint.path);
+      rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+    } else {
+      sockaddr_in addr = tcp_address(endpoint.host, endpoint.port);
+      rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+    }
+    if (rc == 0) return sock;
+    const bool not_up_yet =
+        errno == ECONNREFUSED || errno == ENOENT || errno == EAGAIN;
+    if (!not_up_yet || timer.millis() >= retry_for_ms) {
+      fail_errno("connect " + endpoint.to_string());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+ssize_t send_some(int fd, const char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+ssize_t recv_some(int fd, char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n > 0) return n;
+    if (n == 0) return -1;  // orderly EOF: the connection is over
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+}  // namespace spmap

@@ -1,0 +1,108 @@
+#pragma once
+/// \file socket.hpp
+/// Minimal POSIX stream-socket helpers for the serving daemon and its
+/// clients: an endpoint grammar shared by every tool, RAII file
+/// descriptors, and listen/accept/connect wrappers.
+///
+/// Endpoint grammar (`Endpoint::parse`):
+///   unix:/path/to.sock   Unix-domain stream socket
+///   /path/to.sock        ditto (a spec containing '/' is a path)
+///   tcp:HOST:PORT        IPv4 TCP; HOST is a numeric address
+///                        ("127.0.0.1", "0.0.0.0"), PORT 0 asks the
+///                        kernel for an ephemeral port (see
+///                        `ListenSocket::endpoint()` for the result)
+///
+/// Everything here throws spmap::Error with errno context on failure and
+/// is Linux-only, like the daemon it serves. Writers must use
+/// `send_some` (MSG_NOSIGNAL) so a peer that vanished mid-write surfaces
+/// as an error return instead of SIGPIPE killing the process.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace spmap {
+
+/// A parsed listen/connect target (see the file comment for the grammar).
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;          ///< kUnix: filesystem path of the socket
+  std::string host;          ///< kTcp: numeric IPv4 address
+  std::uint16_t port = 0;    ///< kTcp: port (0 = ephemeral when listening)
+
+  static Endpoint parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening stream socket. Unix listeners own their path: a
+/// stale socket file (no listener behind it) is replaced, a live one makes
+/// the bind fail; the path is unlinked on destruction.
+class ListenSocket {
+ public:
+  explicit ListenSocket(const Endpoint& endpoint, int backlog = 128);
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  int fd() const { return socket_.fd(); }
+  /// False once `shut()` closed the listener.
+  bool valid() const { return socket_.valid(); }
+  /// The endpoint actually bound — for tcp:...:0 the ephemeral port the
+  /// kernel picked, so clients can be pointed at it.
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  /// Non-blocking accept: an invalid Socket when no connection is
+  /// pending. The accepted socket is already non-blocking.
+  Socket accept_client() const;
+
+  /// Stops accepting (closes the fd, unlinks a unix path) while the
+  /// object lives — the drain step of a shutting-down daemon.
+  void shut();
+
+ private:
+  Socket socket_;
+  Endpoint endpoint_;
+  bool unlink_on_close_ = false;
+};
+
+/// Blocking connect to an endpoint (client side). `retry_for_ms > 0`
+/// retries ECONNREFUSED/ENOENT with a short sleep until the window
+/// elapses — the "daemon is still starting" race every spawned client
+/// hits.
+Socket connect_endpoint(const Endpoint& endpoint, double retry_for_ms = 0.0);
+
+/// Marks `fd` non-blocking (O_NONBLOCK).
+void set_nonblocking(int fd);
+
+/// write(2) with MSG_NOSIGNAL: no SIGPIPE on a vanished peer. Returns the
+/// bytes written, 0 on EAGAIN/EWOULDBLOCK, -1 on a dead connection.
+ssize_t send_some(int fd, const char* data, std::size_t size);
+
+/// read(2) shaped the same way: bytes read, 0 on EAGAIN (nothing there),
+/// -1 on EOF or a dead connection.
+ssize_t recv_some(int fd, char* data, std::size_t size);
+
+}  // namespace spmap

@@ -299,6 +299,173 @@ TEST(MappingService, CancelIsPerJobEvenWithASharedRequest) {
   EXPECT_EQ(d.wait().report.termination, TerminationReason::kCancelled);
 }
 
+TEST(MappingService, BoundedQueueRejectsWhenFull) {
+  const auto graph = make_graph(71, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1, .max_queued = 1});
+  MapRequest slow;
+  slow.deadline_ms = 60000.0;
+  auto running = service.submit(
+      make_job(graph, platform, "anneal:iters=500000000"), slow);
+  while (running.status() == JobStatus::kQueued) std::this_thread::yield();
+
+  auto queued = service.submit(make_job(graph, platform, "heft"));
+  EXPECT_THROW(service.submit(make_job(graph, platform, "heft")), Error);
+  EXPECT_FALSE(
+      service.try_submit(make_job(graph, platform, "heft")).has_value());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.running, 1u);
+
+  running.cancel();
+  service.wait_all();
+  EXPECT_TRUE(queued.done());
+}
+
+TEST(MappingService, BlockPolicyWaitsForASlot) {
+  const auto graph = make_graph(72, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1,
+                          .max_queued = 1,
+                          .when_full = QueueFullPolicy::kBlock});
+  MapRequest slow;
+  slow.deadline_ms = 60000.0;
+  auto running = service.submit(
+      make_job(graph, platform, "anneal:iters=500000000"), slow);
+  while (running.status() == JobStatus::kQueued) std::this_thread::yield();
+  auto queued = service.submit(make_job(graph, platform, "heft"));
+
+  // The queue is full: this submit must block until the worker frees a
+  // slot (triggered by cancelling the running job).
+  MappingService::JobHandle blocked;
+  std::thread submitter([&] {
+    blocked = service.submit(make_job(graph, platform, "heft"));
+  });
+  running.cancel();
+  submitter.join();
+  service.wait_all();
+  EXPECT_EQ(queued.status(), JobStatus::kDone);
+  EXPECT_EQ(blocked.status(), JobStatus::kDone);
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST(MappingService, WorkersServeHigherPrioritiesFirst) {
+  const auto graph = make_graph(73, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  std::mutex order_mutex;
+  std::vector<std::uint64_t> order;
+  const auto record = [&](std::uint64_t id, JobStatus,
+                          const MapJobResult&) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(id);
+  };
+
+  MapRequest slow;
+  slow.deadline_ms = 60000.0;
+  auto running = service.submit(
+      make_job(graph, platform, "anneal:iters=500000000"), slow);
+  while (running.status() == JobStatus::kQueued) std::this_thread::yield();
+
+  // Queued while the worker is busy, in submission order low, high,
+  // normal, high — must execute high, high (FIFO within the class),
+  // normal, low.
+  std::vector<MappingService::JobHandle> handles;
+  for (const int priority : {0, 2, 1, 2}) {
+    MapJob job = make_job(graph, platform, "heft");
+    job.priority = priority;
+    job.on_terminal = record;
+    handles.push_back(service.submit(std::move(job)));
+  }
+  running.cancel();
+  service.wait_all();
+
+  std::lock_guard<std::mutex> lock(order_mutex);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], handles[1].id());  // high, submitted first
+  EXPECT_EQ(order[1], handles[3].id());  // high, submitted second
+  EXPECT_EQ(order[2], handles[2].id());  // normal
+  EXPECT_EQ(order[3], handles[0].id());  // low
+}
+
+TEST(MappingService, OnTerminalFiresExactlyOnce) {
+  const auto graph = make_graph(74, 15);
+  const auto platform = make_platform();
+  std::atomic<int> completed_fires{0};
+  std::atomic<int> cancelled_fires{0};
+  {
+    MappingService service({.workers = 1});
+    MapRequest slow;
+    slow.deadline_ms = 60000.0;
+    auto running = service.submit(
+        make_job(graph, platform, "anneal:iters=500000000"), slow);
+    while (running.status() == JobStatus::kQueued) {
+      std::this_thread::yield();
+    }
+
+    MapJob completing = make_job(graph, platform, "heft");
+    completing.on_terminal = [&](std::uint64_t, JobStatus status,
+                                 const MapJobResult&) {
+      EXPECT_EQ(status, JobStatus::kDone);
+      ++completed_fires;
+    };
+    auto done_handle = service.submit(std::move(completing));
+
+    MapJob doomed = make_job(graph, platform, "heft");
+    doomed.on_terminal = [&](std::uint64_t, JobStatus status,
+                             const MapJobResult& result) {
+      EXPECT_EQ(status, JobStatus::kCancelled);
+      EXPECT_FALSE(result.error.empty());
+      ++cancelled_fires;
+    };
+    auto doomed_handle = service.submit(std::move(doomed));
+    doomed_handle.cancel();  // fires from this thread, queued-cancel
+    doomed_handle.cancel();  // idempotent: must not fire again
+
+    running.cancel();
+    service.wait_all();
+    // The worker later discards the cancelled job: no second fire.
+  }
+  EXPECT_EQ(completed_fires.load(), 1);
+  EXPECT_EQ(cancelled_fires.load(), 1);
+}
+
+TEST(MappingService, WaitForTimesOutAndCompletes) {
+  const auto graph = make_graph(75, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 1});
+  EXPECT_TRUE(MappingService::JobHandle().wait_for(1.0));  // empty handle
+
+  MapRequest slow;
+  slow.deadline_ms = 60000.0;
+  auto running = service.submit(
+      make_job(graph, platform, "anneal:iters=500000000"), slow);
+  EXPECT_FALSE(running.wait_for(20.0));
+  running.cancel();
+  EXPECT_TRUE(running.wait_for(30000.0));
+  EXPECT_TRUE(running.done());
+}
+
+TEST(MappingService, StatsAccountTheWholeLifecycle) {
+  const auto graph = make_graph(76, 15);
+  const auto platform = make_platform();
+  MappingService service({.workers = 2});
+  auto ok = service.submit(make_job(graph, platform, "heft"));
+  auto bad = service.submit(make_job(graph, platform, "hft"));
+  service.wait_all();
+  ok.wait();
+  bad.wait();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.done, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
 TEST(MappingService, StatusLabels) {
   EXPECT_STREQ(to_string(JobStatus::kQueued), "queued");
   EXPECT_STREQ(to_string(JobStatus::kRunning), "running");

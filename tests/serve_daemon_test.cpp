@@ -1,0 +1,275 @@
+/// Integration tests of the serving daemon (serve/daemon.hpp): a real
+/// Daemon on a unix socket (plus one TCP ephemeral-port case), driven by
+/// WireClient over the actual protocol — submit/subscribe/done round
+/// trips, overload rejection shape, cancel idempotence, graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "util/error.hpp"
+
+namespace spmap {
+namespace {
+
+/// A bound daemon with run() on its own thread; drains on destruction.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(DaemonOptions options) {
+    if (options.endpoint.path.empty() && options.endpoint.host.empty()) {
+      options.endpoint = Endpoint::parse(unique_socket_path());
+    }
+    daemon = std::make_unique<Daemon>(std::move(options));
+    daemon->bind();
+    io = std::thread([this] { exit_code = daemon->run(); });
+  }
+
+  ~DaemonFixture() {
+    if (io.joinable()) {
+      daemon->request_drain(0.0);
+      io.join();
+    }
+  }
+
+  int join() {
+    io.join();
+    return exit_code;
+  }
+
+  static std::string unique_socket_path() {
+    static int counter = 0;
+    return "unix:/tmp/spmap_daemon_test_" + std::to_string(::getpid()) +
+           "_" + std::to_string(++counter) + ".sock";
+  }
+
+  std::unique_ptr<Daemon> daemon;
+  std::thread io;
+  int exit_code = -1;
+};
+
+Json submit_frame(std::size_t tasks = 12, std::uint64_t seed = 1) {
+  Json generate = Json::object();
+  generate.set("type", Json("sp"));
+  generate.set("tasks", Json(tasks));
+  generate.set("seed", Json(seed));
+  Json frame = Json::object();
+  frame.set("op", Json("submit"));
+  frame.set("mapper", Json("spff"));
+  frame.set("generate", std::move(generate));
+  return frame;
+}
+
+TEST(ServeDaemon, SubmitSubscribeDoneRoundTrip) {
+  DaemonFixture fixture({.workers = 2});
+  WireClient client(fixture.daemon->endpoint());
+  EXPECT_EQ(client.hello_info().at("proto").as_string(), kWireProtocol);
+
+  Json frame = submit_frame();
+  frame.set("subscribe", Json(true));
+  frame.set("return_mapping", Json(true));
+  frame.set("tag", Json(std::size_t{7}));
+  client.send(frame);
+
+  const auto accepted = client.recv(10000.0);
+  ASSERT_TRUE(accepted.has_value());
+  ASSERT_TRUE(accepted->at("ok").as_bool()) << accepted->dump();
+  EXPECT_EQ(accepted->at("tag").as_int(), 7);
+  const auto job = static_cast<std::uint64_t>(accepted->at("job").as_int());
+
+  const auto done = client.recv_event("done", 30000.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(done->at("job").as_int()), job);
+  EXPECT_EQ(done->at("state").as_string(), "done");
+  EXPECT_GT(done->at("makespan").as_double(), 0.0);
+  EXPECT_TRUE(done->at("mapping").is_array());
+
+  // status after the terminal event reports the same result.
+  client.send(Json(Json::Object{{"op", Json("status")}, {"job", Json(job)}}));
+  const auto status = client.recv(10000.0);
+  ASSERT_TRUE(status.has_value());
+  ASSERT_TRUE(status->at("ok").as_bool());
+  EXPECT_EQ(status->at("state").as_string(), "done");
+  EXPECT_DOUBLE_EQ(status->at("makespan").as_double(),
+                   done->at("makespan").as_double());
+}
+
+TEST(ServeDaemon, SubscribeAfterTerminalReplaysDone) {
+  DaemonFixture fixture({.workers = 1});
+  WireClient client(fixture.daemon->endpoint());
+  client.send(submit_frame());
+  const auto accepted = client.recv(10000.0);
+  ASSERT_TRUE(accepted.has_value() && accepted->at("ok").as_bool());
+  const auto job = static_cast<std::uint64_t>(accepted->at("job").as_int());
+
+  // Poll status until terminal, then subscribe: the done event must be
+  // replayed instead of never arriving.
+  for (int i = 0; i < 600; ++i) {
+    client.send(
+        Json(Json::Object{{"op", Json("status")}, {"job", Json(job)}}));
+    const auto status = client.recv(10000.0);
+    ASSERT_TRUE(status.has_value() && status->at("ok").as_bool());
+    if (status->at("state").as_string() == "done") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  client.send(
+      Json(Json::Object{{"op", Json("subscribe")}, {"job", Json(job)}}));
+  const auto ok = client.recv(10000.0);
+  ASSERT_TRUE(ok.has_value() && ok->at("ok").as_bool());
+  const auto done = client.recv_event("done", 10000.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(done->at("job").as_int()), job);
+}
+
+TEST(ServeDaemon, OverloadRejectionIsStructuredAndSurvivable) {
+  // workers=1 + max_queued=1: one running, one queued, the rest refused.
+  DaemonFixture fixture({.workers = 1, .max_queued = 1});
+  WireClient client(fixture.daemon->endpoint());
+
+  // An effectively endless anneal occupies the only worker; a second one
+  // fills the queue slot.
+  Json slow = submit_frame(24);
+  slow.set("mapper", Json("anneal:iters=500000000"));
+  slow.set("deadline_ms", Json(60000.0));
+  std::vector<std::uint64_t> jobs;
+  for (int i = 0; i < 2; ++i) {
+    client.send(slow);
+    const auto ok = client.recv(10000.0);
+    ASSERT_TRUE(ok.has_value() && ok->at("ok").as_bool()) << ok->dump();
+    jobs.push_back(static_cast<std::uint64_t>(ok->at("job").as_int()));
+  }
+
+  // Low-priority traffic is shed first (graduated thresholds): rejected
+  // with the structured overloaded error, connection intact.
+  Json low = submit_frame();
+  low.set("class", Json("low"));
+  low.set("tag", Json("shed-me"));
+  client.send(low);
+  const auto rejected = client.recv(10000.0);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_FALSE(rejected->at("ok").as_bool());
+  EXPECT_EQ(rejected->at("error").at("code").as_string(), "overloaded");
+  EXPECT_FALSE(rejected->at("error").at("message").as_string().empty());
+  EXPECT_EQ(rejected->at("tag").as_string(), "shed-me");
+
+  // Admission shed the request before the service saw it: only the two
+  // accepted jobs were ever submitted.
+  EXPECT_EQ(fixture.daemon->service_stats().submitted, 2u);
+
+  // The connection survived: cancel both heavy jobs, twice (idempotent).
+  for (const std::uint64_t job : jobs) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      client.send(
+          Json(Json::Object{{"op", Json("cancel")}, {"job", Json(job)}}));
+      const auto ok = client.recv(10000.0);
+      ASSERT_TRUE(ok.has_value());
+      EXPECT_TRUE(ok->at("ok").as_bool()) << ok->dump();
+    }
+  }
+}
+
+TEST(ServeDaemon, UnknownMapperIsRejectedEagerly) {
+  DaemonFixture fixture({.workers = 1});
+  WireClient client(fixture.daemon->endpoint());
+  Json frame = submit_frame();
+  frame.set("mapper", Json("definitely-not-a-mapper"));
+  client.send(frame);
+  const auto response = client.recv(10000.0);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->at("ok").as_bool());
+  EXPECT_EQ(response->at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServeDaemon, MalformedJsonClosesTheConnection) {
+  DaemonFixture fixture({.workers = 1});
+  WireClient client(fixture.daemon->endpoint());
+  client.send_raw("{this is not json}\n");
+  const auto error = client.recv(10000.0);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->at("error").at("code").as_string(), "bad_json");
+  // The daemon closes after flushing: the next read hits EOF.
+  EXPECT_THROW(
+      {
+        while (true) {
+          if (!client.recv(10000.0).has_value()) break;
+        }
+      },
+      Error);
+
+  // A fresh connection still works.
+  WireClient again(fixture.daemon->endpoint());
+  again.send(submit_frame());
+  const auto ok = again.recv(10000.0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->at("ok").as_bool());
+}
+
+TEST(ServeDaemon, DrainVerbFinishesInFlightAndExitsZero) {
+  DaemonFixture fixture({.workers = 2});
+  WireClient client(fixture.daemon->endpoint());
+  Json frame = submit_frame();
+  frame.set("subscribe", Json(true));
+  client.send(frame);
+  const auto accepted = client.recv(10000.0);
+  ASSERT_TRUE(accepted.has_value() && accepted->at("ok").as_bool());
+
+  client.send(Json(
+      Json::Object{{"op", Json("drain")}, {"grace_ms", Json(30000.0)}}));
+  // In some order: the drain ok, a draining event, the job's done event,
+  // and a final closing event.
+  const auto done = client.recv_event("done", 30000.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->at("state").as_string(), "done");
+  const auto closing = client.recv_event("closing", 10000.0);
+  EXPECT_TRUE(closing.has_value());
+
+  EXPECT_EQ(fixture.join(), 0);
+}
+
+TEST(ServeDaemon, DrainCancelsPastGraceStillExitsZero) {
+  DaemonFixture fixture({.workers = 1, .grace_ms = 100.0});
+  WireClient client(fixture.daemon->endpoint());
+  Json slow = submit_frame(24);
+  slow.set("mapper", Json("anneal:iters=500000000"));
+  slow.set("deadline_ms", Json(60000.0));
+  slow.set("subscribe", Json(true));
+  client.send(slow);
+  const auto accepted = client.recv(10000.0);
+  ASSERT_TRUE(accepted.has_value() && accepted->at("ok").as_bool());
+
+  fixture.daemon->request_drain();  // 100ms grace, then cancellation
+  const auto done = client.recv_event("done", 30000.0);
+  ASSERT_TRUE(done.has_value());
+  // Cooperative cancellation of a running job: it returns its incumbent
+  // (state "done") with the cancelled termination reason.
+  EXPECT_EQ(done->at("state").as_string(), "done");
+  EXPECT_EQ(done->at("termination").as_string(), "cancelled");
+  // Cooperative cancellation within the hard deadline: a clean exit.
+  EXPECT_EQ(fixture.join(), 0);
+}
+
+TEST(ServeDaemon, TcpEphemeralPortServes) {
+  DaemonFixture fixture({.endpoint = Endpoint::parse("tcp:127.0.0.1:0"),
+                         .workers = 1});
+  EXPECT_NE(fixture.daemon->endpoint().port, 0);
+  WireClient client(fixture.daemon->endpoint());
+  client.send(submit_frame());
+  const auto ok = client.recv(10000.0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->at("ok").as_bool());
+}
+
+TEST(ServeDaemon, BindRefusesATakenUnixEndpoint) {
+  DaemonFixture fixture({.workers = 1});
+  Daemon second({.endpoint = fixture.daemon->endpoint()});
+  EXPECT_THROW(second.bind(), Error);
+}
+
+}  // namespace
+}  // namespace spmap

@@ -1,0 +1,194 @@
+/// The spmap-wire/1 frame codec (serve/wire.hpp): byte-stream splitting
+/// under partial reads, oversized-line poisoning, UTF-8 validation,
+/// frame parsing, and the response/event line builders — all table-driven
+/// and socket-free.
+
+#include <gtest/gtest.h>
+
+#include "serve/wire.hpp"
+
+namespace spmap {
+namespace {
+
+// ---- FrameReader -----------------------------------------------------------
+
+TEST(FrameReader, SplitsCompleteLines) {
+  FrameReader reader;
+  std::vector<std::string> frames;
+  EXPECT_TRUE(reader.feed("{\"op\":\"a\"}\n{\"op\":\"b\"}\n", frames));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "{\"op\":\"a\"}");
+  EXPECT_EQ(frames[1], "{\"op\":\"b\"}");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, ReassemblesPartialFramesAcrossReads) {
+  FrameReader reader;
+  std::vector<std::string> frames;
+  // One frame delivered in four reads, split mid-token.
+  EXPECT_TRUE(reader.feed("{\"op\"", frames));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_GT(reader.buffered(), 0u);
+  EXPECT_TRUE(reader.feed(":\"hel", frames));
+  EXPECT_TRUE(reader.feed("lo\"}", frames));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_TRUE(reader.feed("\n", frames));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "{\"op\":\"hello\"}");
+}
+
+TEST(FrameReader, StripsCarriageReturns) {
+  FrameReader reader;
+  std::vector<std::string> frames;
+  EXPECT_TRUE(reader.feed("{\"op\":\"a\"}\r\n", frames));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "{\"op\":\"a\"}");
+}
+
+TEST(FrameReader, OversizedLineLatchesOverflow) {
+  FrameReader reader(8);  // tiny limit
+  std::vector<std::string> frames;
+  EXPECT_TRUE(reader.feed("{\"a\":1}\n", frames));  // 7 bytes: fits
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(reader.feed("{\"op\":\"too long\"}", frames));
+  EXPECT_TRUE(reader.overflowed());
+  // Poisoned: even a valid follow-up produces nothing.
+  EXPECT_FALSE(reader.feed("{\"b\":2}\n", frames));
+  EXPECT_EQ(frames.size(), 1u);
+}
+
+TEST(FrameReader, OverflowCountsOnlyTheCurrentLine) {
+  FrameReader reader(16);
+  std::vector<std::string> frames;
+  // Many short lines may pass through a small-limit reader; the limit is
+  // per line, not per connection.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(reader.feed("{\"n\":1234567}\n", frames));
+  }
+  EXPECT_EQ(frames.size(), 100u);
+  EXPECT_FALSE(reader.overflowed());
+}
+
+// ---- UTF-8 validation ------------------------------------------------------
+
+struct Utf8Case {
+  const char* name;
+  std::string data;
+  bool valid;
+};
+
+TEST(WireUtf8, TableDrivenValidation) {
+  const std::vector<Utf8Case> cases = {
+      {"ascii", "hello {\"op\":1}", true},
+      {"two_byte", "caf\xc3\xa9", true},
+      {"three_byte", "\xe2\x82\xac", true},          // €
+      {"four_byte", "\xf0\x9f\x9a\x80", true},       // rocket
+      {"empty", "", true},
+      {"bare_continuation", "\x80", false},
+      {"truncated_two_byte", "\xc3", false},
+      {"truncated_four_byte", "\xf0\x9f\x9a", false},
+      {"overlong_slash", "\xc0\xaf", false},         // '/' as 2 bytes
+      {"overlong_three_byte", "\xe0\x80\xaf", false},
+      {"surrogate_half", "\xed\xa0\x80", false},     // U+D800
+      {"beyond_max", "\xf4\x90\x80\x80", false},     // > U+10FFFF
+      {"fe_ff_bytes", "\xfe\xff", false},
+      {"lead_then_ascii", "\xc3(", false},
+  };
+  for (const Utf8Case& c : cases) {
+    EXPECT_EQ(is_valid_utf8(c.data), c.valid) << c.name;
+  }
+}
+
+// ---- parse_frame -----------------------------------------------------------
+
+struct ParseCase {
+  const char* name;
+  std::string line;
+  /// Expected failure (nullopt = the line must parse).
+  std::optional<WireErrorCode> code;
+  std::string op;  ///< expected verb on success
+};
+
+TEST(WireParse, TableDrivenFrames) {
+  const std::vector<ParseCase> cases = {
+      {"submit", "{\"op\":\"submit\",\"mapper\":\"spff\"}", std::nullopt,
+       "submit"},
+      {"unknown_verb_still_parses", "{\"op\":\"frobnicate\"}", std::nullopt,
+       "frobnicate"},  // unknown ops are the session's business
+      {"invalid_utf8", std::string("{\"op\":\"\xc0\xaf\"}"),
+       WireErrorCode::kBadUtf8, ""},
+      {"not_json", "this is not json", WireErrorCode::kBadJson, ""},
+      {"truncated_json", "{\"op\":\"subm", WireErrorCode::kBadJson, ""},
+      {"not_an_object", "[1,2,3]", WireErrorCode::kBadJson, ""},
+      {"number_frame", "42", WireErrorCode::kBadJson, ""},
+      {"missing_op", "{\"mapper\":\"spff\"}", WireErrorCode::kBadRequest,
+       ""},
+      {"non_string_op", "{\"op\":7}", WireErrorCode::kBadRequest, ""},
+      {"empty_line", "", WireErrorCode::kBadJson, ""},
+  };
+  for (const ParseCase& c : cases) {
+    Frame frame;
+    std::string message;
+    const auto code = parse_frame(c.line, frame, message);
+    EXPECT_EQ(code, c.code) << c.name;
+    if (!c.code.has_value()) {
+      EXPECT_EQ(frame.op, c.op) << c.name;
+      EXPECT_TRUE(frame.body.is_object()) << c.name;
+    } else {
+      EXPECT_FALSE(message.empty()) << c.name;
+    }
+  }
+}
+
+// ---- line builders ---------------------------------------------------------
+
+TEST(WireLines, OkLineShape) {
+  Json body = Json::object();
+  body.set("op", Json("submit"));
+  body.set("job", Json(std::size_t{7}));
+  const std::string line = ok_line(std::move(body));
+  EXPECT_EQ(line.back(), '\n');
+  const Json parsed = Json::parse(line);
+  EXPECT_TRUE(parsed.at("ok").as_bool());
+  EXPECT_EQ(parsed.at("op").as_string(), "submit");
+  EXPECT_EQ(parsed.at("job").as_int(), 7);
+}
+
+TEST(WireLines, ErrorLineShape) {
+  const std::string line =
+      error_line(WireErrorCode::kOverloaded, "queue full",
+                 Json(Json::Object{{"op", Json("submit")}}));
+  const Json parsed = Json::parse(line);
+  EXPECT_FALSE(parsed.at("ok").as_bool());
+  EXPECT_EQ(parsed.at("op").as_string(), "submit");
+  EXPECT_EQ(parsed.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(parsed.at("error").at("message").as_string(), "queue full");
+}
+
+TEST(WireLines, EventLineShape) {
+  Json body = Json::object();
+  body.set("job", Json(std::size_t{3}));
+  const Json parsed = Json::parse(event_line("incumbent", std::move(body)));
+  EXPECT_EQ(parsed.at("event").as_string(), "incumbent");
+  EXPECT_EQ(parsed.at("job").as_int(), 3);
+  EXPECT_FALSE(parsed.contains("ok"));
+}
+
+TEST(WireLines, ErrorCodeStringsAreStable) {
+  EXPECT_STREQ(to_string(WireErrorCode::kFrameTooLong), "frame_too_long");
+  EXPECT_STREQ(to_string(WireErrorCode::kBadUtf8), "bad_utf8");
+  EXPECT_STREQ(to_string(WireErrorCode::kBadJson), "bad_json");
+  EXPECT_STREQ(to_string(WireErrorCode::kBadHandshake), "bad_handshake");
+  EXPECT_STREQ(to_string(WireErrorCode::kHandshakeRequired),
+               "handshake_required");
+  EXPECT_STREQ(to_string(WireErrorCode::kUnknownOp), "unknown_op");
+  EXPECT_STREQ(to_string(WireErrorCode::kBadRequest), "bad_request");
+  EXPECT_STREQ(to_string(WireErrorCode::kUnknownJob), "unknown_job");
+  EXPECT_STREQ(to_string(WireErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(to_string(WireErrorCode::kDraining), "draining");
+  EXPECT_STREQ(to_string(WireErrorCode::kIdleTimeout), "idle_timeout");
+  EXPECT_STREQ(to_string(WireErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace spmap

@@ -17,6 +17,11 @@
 ///                 layer: --jobs N workers, per-job lifecycle lines on
 ///                 stderr, same results document as sweep (bit-identical
 ///                 to the serial runner).
+///   daemon        Serve mapping jobs over a socket: listens on
+///                 unix:PATH or tcp:HOST:PORT speaking spmap-wire/1
+///                 (newline-delimited JSON; see docs/SERVING.md), with
+///                 priority admission, streaming incumbent events and a
+///                 graceful SIGTERM drain.
 ///   list-mappers  Print the MapperRegistry: every algorithm with its
 ///                 description and default (paper) parameters
 ///                 (--markdown emits the docs/README table).
@@ -34,7 +39,11 @@
 ///   spmap_cli sweep --scenario scenarios/examples/fig4_small.json --out r.json
 ///   spmap_cli serve --scenario scenarios/examples/fig4_small.json --jobs 4
 ///   spmap_cli map --in g.json --mapper anneal:iters=1000000 --deadline-ms 50
+///   spmap_cli daemon --listen unix:/tmp/spmap.sock --workers 4
 ///   spmap_cli list-mappers
+///
+/// Exit codes (tools/exit_codes.hpp, enforced by cli_contract_test):
+/// 0 success, 1 runtime failure (diagnostics on stderr), 2 usage.
 
 #include <chrono>
 #include <condition_variable>
@@ -48,6 +57,8 @@
 
 #include "bench/scenario.hpp"
 #include "bench/scenario_runner.hpp"
+#include "exit_codes.hpp"
+#include "serve/daemon.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -62,6 +73,9 @@
 #include "workflows/workflows.hpp"
 
 using namespace spmap;
+using spmap::cli::kExitFailure;
+using spmap::cli::kExitOk;
+using spmap::cli::kExitUsage;
 
 namespace {
 
@@ -99,8 +113,8 @@ class DelayedCancel {
 int usage() {
   std::fprintf(stderr,
                "usage: spmap_cli "
-               "<generate|import|decompose|map|evaluate|sweep|list-mappers> "
-               "[flags]\n"
+               "<generate|import|decompose|map|evaluate|sweep|serve|daemon|"
+               "list-mappers> [flags]\n"
                "  import       --wf FILE [--seed S] [--out FILE]   "
                "(WfCommons wfformat -> spmap JSON)\n"
                "  generate     --type sp|almost-sp|workflow --tasks N "
@@ -119,9 +133,13 @@ int usage() {
                "  serve        --scenario FILE --jobs N [--out FILE] "
                "[--seed S] [--repetitions N] [--quiet]   (run a scenario "
                "through the MappingService job layer)\n"
+               "  daemon       --listen unix:PATH|tcp:HOST:PORT "
+               "[--workers N] [--max-queued N] [--idle-timeout-s S] "
+               "[--grace-ms MS] [--seed S] [--quiet]   (spmap-wire/1 "
+               "serving daemon; see docs/SERVING.md)\n"
                "  list-mappers [--verbose] [--markdown]   (all registered "
                "algorithm names, descriptions, default parameters)\n");
-  return 2;
+  return kExitUsage;
 }
 
 std::string read_file(const std::string& path) {
@@ -176,7 +194,7 @@ int cmd_generate(int argc, char** argv) {
   write_output(flags.get("out", ""), to_json(dag, attrs) + "\n");
   std::fprintf(stderr, "generated %zu tasks, %zu edges\n", dag.node_count(),
                dag.edge_count());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_import(int argc, char** argv) {
@@ -187,7 +205,7 @@ int cmd_import(int argc, char** argv) {
   write_output(flags.get("out", ""), to_json(tg.dag, tg.attrs) + "\n");
   std::fprintf(stderr, "imported %zu tasks, %zu edges\n",
                tg.dag.node_count(), tg.dag.edge_count());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_decompose(int argc, char** argv) {
@@ -209,7 +227,7 @@ int cmd_decompose(int argc, char** argv) {
   }
   const auto set = subgraphs_from_forest(result.forest, tg.dag.node_count());
   std::printf("candidate subgraphs: %zu\n", set.size());
-  return 0;
+  return kExitOk;
 }
 
 /// Emits the mapper table as GitHub-flavored markdown. This output is the
@@ -227,7 +245,7 @@ int list_mappers_markdown() {
                 entry.needs_sp_decomposition ? "yes" : "no",
                 entry.default_spec().c_str(), entry.description.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_list_mappers(int argc, char** argv) {
@@ -256,7 +274,7 @@ int cmd_list_mappers(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_map(int argc, char** argv) {
@@ -317,7 +335,11 @@ int cmd_map(int argc, char** argv) {
     std::fputs((schedule.to_json(tg.dag, platform).dump(2) + "\n").c_str(),
                stdout);
   }
-  return 0;
+  if (r.predicted_makespan >= kInfeasible) {
+    std::fprintf(stderr, "spmap_cli: mapper returned an infeasible mapping\n");
+    return kExitFailure;
+  }
+  return kExitOk;
 }
 
 /// Shared body of `sweep` and `serve`: both run a declarative scenario
@@ -358,7 +380,7 @@ int run_scenario_command(int argc, char** argv, bool serve) {
   } else {
     run_report_write(scenario, options, out, std::cout);
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_sweep(int argc, char** argv) {
@@ -395,7 +417,48 @@ int cmd_evaluate(int argc, char** argv) {
   const double ms = eval.evaluate(mapping);
   std::printf("makespan=%.6f feasible=%s\n", ms,
               ms < kInfeasible ? "yes" : "no");
-  return 0;
+  if (ms >= kInfeasible) {
+    // The result line stays on stdout for parsers; the failure itself is
+    // an exit-code + stderr affair (the CLI exit-code contract).
+    std::fprintf(stderr, "spmap_cli: mapping is infeasible\n");
+    return kExitFailure;
+  }
+  return kExitOk;
+}
+
+/// Long-running serving daemon over the MappingService (docs/SERVING.md).
+/// Drains gracefully on SIGTERM/SIGINT or a wire `drain`; the exit code
+/// is the drain verdict (0 clean, 1 jobs abandoned at the hard deadline).
+int cmd_daemon(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"listen", "workers", "max-queued", "idle-timeout-s",
+                     "grace-ms", "seed", "quiet"});
+  const std::string listen = flags.get("listen", "");
+  require(!listen.empty(),
+          "daemon: --listen ENDPOINT is required (unix:PATH or "
+          "tcp:HOST:PORT)");
+  DaemonOptions options;
+  options.endpoint = Endpoint::parse(listen);
+  const std::int64_t workers = flags.get_int("workers", 2);
+  require(workers >= 1, "daemon: --workers must be >= 1");
+  options.workers = static_cast<std::size_t>(workers);
+  const std::int64_t max_queued = flags.get_int("max-queued", 64);
+  require(max_queued >= 0, "daemon: --max-queued must be >= 0");
+  options.max_queued = static_cast<std::size_t>(max_queued);
+  options.idle_timeout_s = flags.get_double("idle-timeout-s", 0.0);
+  require(options.idle_timeout_s >= 0.0,
+          "daemon: --idle-timeout-s must be >= 0");
+  options.grace_ms = flags.get_double("grace-ms", 5000.0);
+  require(options.grace_ms >= 0.0, "daemon: --grace-ms must be >= 0");
+  if (flags.has("seed")) {
+    options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  }
+  options.install_signal_handlers = true;
+  options.log = flags.get_bool("quiet", false) ? nullptr : stderr;
+
+  Daemon daemon(options);
+  daemon.bind();
+  return daemon.run() == 0 ? kExitOk : kExitFailure;
 }
 
 }  // namespace
@@ -411,10 +474,11 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return cmd_evaluate(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (cmd == "daemon") return cmd_daemon(argc - 1, argv + 1);
     if (cmd == "list-mappers") return cmd_list_mappers(argc - 1, argv + 1);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "spmap_cli: %s\n", ex.what());
-    return 1;
+    return kExitFailure;
   }
   return usage();
 }
