@@ -1,34 +1,122 @@
 #include "serve/client.hpp"
 
 #include <poll.h>
+#include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace spmap {
 
+WireClient::WireClient(const Endpoint& endpoint, WireClientOptions options)
+    : endpoint_(endpoint),
+      options_(options),
+      jitter_rng_(options.jitter_seed),
+      socket_(),
+      reader_(options.max_frame_bytes) {
+  socket_ = connect_with_backoff();
+  handshake_hello(options_.connect_timeout_ms);
+}
+
 WireClient::WireClient(const Endpoint& endpoint, double connect_timeout_ms,
                        std::size_t max_frame_bytes)
-    : socket_(connect_endpoint(endpoint, connect_timeout_ms)),
-      reader_(max_frame_bytes) {
+    : WireClient(endpoint, [&] {
+        WireClientOptions options;
+        options.connect_timeout_ms = connect_timeout_ms;
+        options.max_frame_bytes = max_frame_bytes;
+        return options;
+      }()) {}
+
+Socket WireClient::connect_with_backoff() {
+  double delay = options_.backoff_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return connect_endpoint(endpoint_, options_.connect_timeout_ms);
+    } catch (const Error&) {
+      if (attempt >= options_.connect_retries) throw;
+    }
+    // Deterministic jitter in [0.5, 1.0] of the nominal delay: spreads a
+    // thundering herd of reconnecting clients without making test runs
+    // timing-dependent (same jitter_seed, same schedule).
+    const double unit =
+        0.5 + 0.5 * (static_cast<double>(jitter_rng_() >> 11) * 0x1.0p-53);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay * unit));
+    delay = std::min(2.0 * delay, options_.backoff_max_ms);
+  }
+}
+
+void WireClient::adopt_identity(const Json& answer) {
+  if (answer.contains("session") && answer.at("session").is_number()) {
+    session_ = static_cast<std::uint64_t>(answer.at("session").as_int());
+  }
+  if (answer.contains("token") && answer.at("token").is_string()) {
+    token_ = answer.at("token").as_string();
+  }
+}
+
+void WireClient::handshake_hello(double timeout_ms) {
   Json hello = Json::object();
   hello.set("op", Json("hello"));
   hello.set("proto", Json(kWireProtocol));
   send(hello);
-  std::optional<Json> answer = recv(connect_timeout_ms);
+  std::optional<Json> answer = recv(timeout_ms);
   require(answer.has_value(), "WireClient: handshake timed out");
   require(answer->contains("ok") && answer->at("ok").is_bool() &&
               answer->at("ok").as_bool(),
           "WireClient: handshake refused: " + answer->dump());
+  adopt_identity(*answer);
   hello_info_ = *std::move(answer);
+}
+
+bool WireClient::reconnect(bool try_resume) {
+  socket_ = connect_with_backoff();
+  reader_ = FrameReader(options_.max_frame_bytes);
+  pending_.clear();
+  pending_next_ = 0;
+
+  if (try_resume && !token_.empty()) {
+    Json resume = Json::object();
+    resume.set("op", Json("resume"));
+    resume.set("proto", Json(kWireProtocol));
+    resume.set("token", Json(token_));
+    resume.set("last_seq", Json(last_event_seq_));
+    send(resume);
+    std::optional<Json> answer = recv(options_.connect_timeout_ms);
+    require(answer.has_value(), "WireClient: resume timed out");
+    if (answer->contains("ok") && answer->at("ok").is_bool() &&
+        answer->at("ok").as_bool()) {
+      // Resumed: the replayed events follow as ordinary frames and are
+      // picked up by the caller's next recv calls.
+      adopt_identity(*answer);
+      return true;
+    }
+    // unknown_session (daemon restarted or window closed): the session
+    // stayed in its handshake state — fall back to a fresh hello on the
+    // very same connection.
+  }
+  session_ = 0;
+  token_.clear();
+  last_event_seq_ = 0;
+  handshake_hello(options_.connect_timeout_ms);
+  return false;
+}
+
+void WireClient::drop_connection() {
+  // shutdown, not close: the fd stays pollable, so a blocked recv wakes
+  // with EOF immediately instead of timing out on a dead descriptor.
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
 }
 
 void WireClient::send(const Json& frame) { send_raw(frame.dump() + "\n"); }
 
 void WireClient::send_raw(const std::string& line) {
+  require(socket_.valid(), "WireClient: not connected");
   std::size_t sent = 0;
   while (sent < line.size()) {
     const ssize_t n =
@@ -45,6 +133,7 @@ void WireClient::send_raw(const std::string& line) {
 }
 
 std::optional<Json> WireClient::recv(double timeout_ms) {
+  require(socket_.valid(), "WireClient: not connected");
   const WallTimer timer;
   char buffer[4096];
   for (;;) {
@@ -56,6 +145,11 @@ std::optional<Json> WireClient::recv(double timeout_ms) {
       }
       Json frame = Json::parse(line);
       require(frame.is_object(), "WireClient: non-object frame: " + line);
+      if (frame.contains("event_seq") && frame.at("event_seq").is_number()) {
+        last_event_seq_ = std::max(
+            last_event_seq_,
+            static_cast<std::uint64_t>(frame.at("event_seq").as_int()));
+      }
       return frame;
     }
     int wait_ms = -1;

@@ -6,27 +6,60 @@
 /// one client implementation, so a protocol change breaks loudly in one
 /// place instead of quietly in three.
 ///
+/// ## Reconnect and resume
+///
+/// The hello handshake yields a session id and token (when the server
+/// issues them); every server push carries a monotonic `event_seq`, which
+/// the client tracks across `recv`. After a connection loss,
+/// `reconnect()` re-dials with bounded exponential backoff and presents
+/// the token via the `resume` verb: on success the server replays exactly
+/// the events after `last_event_seq()` — nothing lost, nothing repeated —
+/// and the session (job table, subscriptions) continues as if the drop
+/// never happened. When the server no longer knows the token (it
+/// restarted, or the resume window closed), `reconnect()` falls back to a
+/// fresh hello and returns false so the caller can recover by job id.
+///
 /// ## Thread-safety
 ///
 /// None: one WireClient belongs to one thread (the loadgen runs one per
 /// simulated session).
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "serve/wire.hpp"
+#include "util/rng.hpp"
 #include "util/socket.hpp"
 
 namespace spmap {
 
+struct WireClientOptions {
+  /// Per-attempt connect window (connect_endpoint retries "daemon still
+  /// starting" refusals inside it).
+  double connect_timeout_ms = 5000.0;
+  /// Extra connect attempts after the first, with exponential backoff
+  /// between them; 0 keeps the single-attempt behavior.
+  std::size_t connect_retries = 0;
+  /// First inter-attempt delay; doubles per attempt up to the cap.
+  double backoff_ms = 50.0;
+  double backoff_max_ms = 2000.0;
+  /// Seeds the deterministic backoff jitter (each delay is scaled into
+  /// [0.5, 1.0] of its nominal value); same seed, same schedule.
+  std::uint64_t jitter_seed = 0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
 class WireClient {
  public:
-  /// Connects (retrying "daemon still starting" failures for
-  /// `connect_timeout_ms`) and performs the `hello` handshake. Throws
-  /// spmap::Error when the endpoint stays unreachable or the handshake is
-  /// refused.
-  WireClient(const Endpoint& endpoint, double connect_timeout_ms = 5000.0,
-             std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  /// Connects (with the options' backoff schedule) and performs the
+  /// `hello` handshake. Throws spmap::Error when the endpoint stays
+  /// unreachable through every attempt or the handshake is refused.
+  WireClient(const Endpoint& endpoint, WireClientOptions options);
+  /// Single-attempt convenience (the pre-resume signature).
+  explicit WireClient(const Endpoint& endpoint,
+                      double connect_timeout_ms = 5000.0,
+                      std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
   /// Sends one frame (the '\n' is appended here). Throws spmap::Error on
   /// a dead connection.
@@ -46,12 +79,44 @@ class WireClient {
   /// The server-info fields the handshake answered with.
   const Json& hello_info() const { return hello_info_; }
 
+  /// Session identity from the handshake (0/empty when the server does
+  /// not issue tokens).
+  std::uint64_t session() const { return session_; }
+  const std::string& session_token() const { return token_; }
+  /// Highest `event_seq` seen across received frames — what `reconnect`
+  /// hands the server as the replay cursor.
+  std::uint64_t last_event_seq() const { return last_event_seq_; }
+
+  /// Re-dials after a connection loss (same backoff schedule as the
+  /// constructor). With `try_resume` and a token in hand, presents the
+  /// `resume` verb: true means the session resumed and the missed events
+  /// are inbound; false means the server did not know the token (restart
+  /// or expired window) and a fresh hello replaced the session — the
+  /// caller re-queries its jobs by id. Throws when the endpoint stays
+  /// unreachable.
+  bool reconnect(bool try_resume = true);
+
+  /// Abruptly kills the connection (shutdown, no goodbye) — the chaos
+  /// loadgen's simulated connection loss. Pending send/recv calls fail
+  /// with spmap::Error; follow with reconnect().
+  void drop_connection();
+
  private:
+  Socket connect_with_backoff();
+  void handshake_hello(double timeout_ms);
+  void adopt_identity(const Json& answer);
+
+  Endpoint endpoint_;
+  WireClientOptions options_;
+  Rng jitter_rng_;
   Socket socket_;
   FrameReader reader_;
   std::vector<std::string> pending_;
   std::size_t pending_next_ = 0;
   Json hello_info_;
+  std::uint64_t session_ = 0;
+  std::string token_;
+  std::uint64_t last_event_seq_ = 0;
 };
 
 }  // namespace spmap

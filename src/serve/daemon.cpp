@@ -8,6 +8,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "graph/generators.hpp"
@@ -16,6 +18,7 @@
 #include "model/platform.hpp"
 #include "model/platform_io.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "workflows/workflows.hpp"
 
 namespace spmap {
@@ -26,6 +29,24 @@ namespace {
 /// subscribed to a chatty job would otherwise grow our buffer without
 /// bound. Past this, the connection is dropped.
 constexpr std::size_t kMaxOutbufBytes = 64u << 20;
+
+/// Sequenced event lines kept per session for resume replay. A client
+/// that missed more than this cannot resume exactly and must re-hello;
+/// bounds detached-session memory.
+constexpr std::size_t kMaxSessionBacklog = 4096;
+
+/// 16 hex chars of token; uniqueness comes from the rng seeding (pid +
+/// wall entropy), not from the length.
+std::string make_token(Rng& rng) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t bits = rng();
+  std::string token(16, '0');
+  for (char& ch : token) {
+    ch = hex[bits & 0xf];
+    bits >>= 4;
+  }
+  return token;
+}
 
 /// Signal-handler bridge: handlers may only touch lock-free state and
 /// async-signal-safe calls, so they set a flag and poke the self-pipe.
@@ -76,6 +97,17 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
 
   reference_platform_ =
       std::make_shared<const Platform>(reference_platform());
+
+  // Token rng: wants uniqueness, not reproducibility — mix in wall
+  // entropy so a restarted daemon never re-issues a pre-restart token
+  // (a stale resume must fail cleanly, not adopt a stranger's session).
+  std::uint64_t entropy =
+      options_.seed ^ static_cast<std::uint64_t>(::getpid()) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  token_rng_ = Rng(splitmix64(entropy));
+
+  if (!options_.journal_path.empty()) init_journal();
 }
 
 Daemon::~Daemon() {
@@ -117,7 +149,87 @@ Json Daemon::server_info() const {
   info.set("server", Json("spmap-daemon"));
   info.set("workers", Json(service_->worker_count()));
   info.set("max_queued", Json(options_.max_queued));
+  info.set("resume_window_s", Json(options_.resume_window_s));
   return info;
+}
+
+std::string Daemon::register_session(std::uint64_t session) {
+  SessionRecord record;
+  record.token = make_token(token_rng_);
+  record.conn = session;  // hello: the conn id is the session id
+  const std::string token = record.token;
+  sessions_[session] = std::move(record);
+  return token;
+}
+
+ResumeOutcome Daemon::resume_session(std::uint64_t conn,
+                                     const std::string& token,
+                                     std::uint64_t last_seq) {
+  ResumeOutcome outcome;
+  auto it = sessions_.begin();
+  for (; it != sessions_.end(); ++it) {
+    if (it->second.token == token) break;
+  }
+  if (it == sessions_.end()) {
+    outcome.message =
+        "unknown or expired session token (fall back to a fresh hello)";
+    return outcome;
+  }
+  SessionRecord& record = it->second;
+  if (record.conn != 0 && record.conn != conn) {
+    // The old connection is still around (half-open TCP: the peer died
+    // without a FIN reaching us). The token proves the resuming client
+    // is the session's owner; the newest connection wins.
+    const auto old_it = conns_.find(record.conn);
+    if (old_it != conns_.end()) old_it->second.socket.close();
+  }
+  record.conn = conn;
+  outcome.ok = true;
+  outcome.session = it->first;
+  outcome.token = record.token;
+  for (const auto& [seq, line] : record.backlog) {
+    if (seq > last_seq) outcome.replay.push_back(line);
+  }
+  logf("session %llu resumed on conn %llu (replaying %zu event(s) after "
+       "seq %llu)",
+       static_cast<unsigned long long>(it->first),
+       static_cast<unsigned long long>(conn), outcome.replay.size(),
+       static_cast<unsigned long long>(last_seq));
+  return outcome;
+}
+
+void Daemon::send_event(std::uint64_t session, const std::string& event,
+                        Json body) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;  // never helloed or expired
+  SessionRecord& record = it->second;
+  const std::uint64_t seq = record.next_seq++;
+  body.set("event_seq", Json(seq));
+  const std::string line = event_line(event, std::move(body));
+  record.backlog.emplace_back(seq, line);
+  while (record.backlog.size() > kMaxSessionBacklog) {
+    record.backlog.pop_front();
+  }
+  if (record.conn == 0) return;  // detached: the backlog waits for resume
+  const auto conn_it = conns_.find(record.conn);
+  if (conn_it == conns_.end() || conn_it->second.session.closed()) return;
+  enqueue_lines(conn_it->second, {line});
+}
+
+void Daemon::expire_sessions(double now) {
+  if (now - last_session_sweep_s_ < 1.0) return;
+  last_session_sweep_s_ = now;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const SessionRecord& record = it->second;
+    if (record.conn == 0 &&
+        now - record.detached_at > options_.resume_window_s) {
+      logf("session %llu expired (resume window closed)",
+           static_cast<unsigned long long>(it->first));
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Daemon::wake() const {
@@ -148,51 +260,76 @@ void Daemon::handle_event(const Event& event) {
   if (it == jobs_.end()) return;  // evicted by retention
   JobEntry& entry = it->second;
 
-  const auto send_to = [this](std::uint64_t session,
-                              const std::string& line) {
-    const auto conn_it = conns_.find(session);
-    if (conn_it == conns_.end() || conn_it->second.session.closed()) return;
-    enqueue_lines(conn_it->second, {line});
-  };
-
   switch (event.kind) {
+    case Event::Kind::kStarted: {
+      if (entry.started || entry.terminal) return;
+      entry.started = true;
+      Json record = Json::object();
+      record.set("type", Json("started"));
+      record.set("job", Json(event.job));
+      journal_append(record, /*sync=*/false);
+      return;
+    }
     case Event::Kind::kIncumbent: {
-      if (entry.subscribers.empty()) return;
-      Json body = Json::object();
-      body.set("job", Json(event.job));
-      body.set("makespan", Json(event.incumbent.makespan));
-      body.set("iteration", Json(event.incumbent.iteration));
-      body.set("seconds", Json(event.incumbent.seconds));
-      const std::string line = event_line("incumbent", std::move(body));
+      if (journal_ != nullptr) {
+        Json record = Json::object();
+        record.set("type", Json("incumbent"));
+        record.set("job", Json(event.job));
+        record.set("makespan", Json(event.incumbent.makespan));
+        record.set("iteration", Json(event.incumbent.iteration));
+        record.set("seconds", Json(event.incumbent.seconds));
+        journal_append(record, /*sync=*/false);
+      }
       for (const std::uint64_t session : entry.subscribers) {
-        send_to(session, line);
+        Json body = Json::object();
+        body.set("job", Json(event.job));
+        body.set("makespan", Json(event.incumbent.makespan));
+        body.set("iteration", Json(event.incumbent.iteration));
+        body.set("seconds", Json(event.incumbent.seconds));
+        send_event(session, "incumbent", std::move(body));
       }
       return;
     }
     case Event::Kind::kTerminal: {
       if (entry.terminal) return;  // defensive: exactly-once upstream
+      failpoint("daemon.terminal");  // chaos: crash between run and ack
       entry.terminal = true;
       --outstanding_;
-      const std::string line = event_line("done", status_body(event.job,
-                                                              entry));
+      const Json status = status_body(event.job, entry);
+      // Commit before acknowledging: the fsynced terminal record is what
+      // lets a restarted daemon answer status for this job; only then may
+      // the done event (the client-visible acknowledgement) leave.
+      Json record = Json::object();
+      record.set("type", Json("terminal"));
+      record.set("job", Json(event.job));
+      record.set("status", status);
+      journal_append(record, /*sync=*/true);
       logf("job %llu %s",
            static_cast<unsigned long long>(event.job),
            to_string(entry.handle.status()));
       for (const std::uint64_t session : entry.subscribers) {
-        send_to(session, line);
+        send_event(session, "done", status);
       }
-      completed_order_.push_back(event.job);
-      while (completed_order_.size() > options_.completed_retention) {
-        jobs_.erase(completed_order_.front());
-        completed_order_.pop_front();
+      retain_completed(event.job);
+      if (journal_ != nullptr &&
+          journal_->appended() >
+              std::max<std::size_t>(256, 4 * options_.completed_retention)) {
+        compact_journal();
       }
       return;
     }
     case Event::Kind::kReplayDone: {
-      send_to(event.session, event_line("done", status_body(event.job,
-                                                            entry)));
+      send_event(event.session, "done", status_body(event.job, entry));
       return;
     }
+  }
+}
+
+void Daemon::retain_completed(std::uint64_t job) {
+  completed_order_.push_back(job);
+  while (completed_order_.size() > options_.completed_retention) {
+    jobs_.erase(completed_order_.front());
+    completed_order_.pop_front();
   }
 }
 
@@ -315,6 +452,14 @@ SubmitOutcome Daemon::submit(std::uint64_t session,
     event.job = id;
     push_event(std::move(event));
   };
+  if (journal_ != nullptr) {
+    job.on_start = [this, id](std::uint64_t) {
+      Event event;
+      event.kind = Event::Kind::kStarted;
+      event.job = id;
+      push_event(std::move(event));
+    };
+  }
 
   MapRequest run;
   run.deadline_ms = request.deadline_ms;
@@ -343,6 +488,30 @@ SubmitOutcome Daemon::submit(std::uint64_t session,
   entry.priority_class = request.priority_class;
   entry.want_mapping = request.want_mapping;
   if (request.subscribe) entry.subscribers.insert(session);
+
+  if (journal_ != nullptr) {
+    // Commit before acknowledging: the ok response only leaves after the
+    // submitted record is on disk, so every acknowledged job survives a
+    // crash. A failed journal write rejects the submit (and cancels the
+    // already-enqueued job) — accepting unjournaled work would break the
+    // restart guarantee the client was promised.
+    entry.submit_json = to_json(request);
+    Json record = Json::object();
+    record.set("type", Json("submitted"));
+    record.set("job", Json(id));
+    record.set("submit", entry.submit_json);
+    try {
+      journal_->append(record, /*sync=*/true);
+    } catch (const Error& ex) {
+      entry.handle.cancel();
+      logf("job %llu rejected: %s",
+           static_cast<unsigned long long>(id), ex.what());
+      outcome.code = WireErrorCode::kInternal;
+      outcome.message = std::string("journal write failed: ") + ex.what();
+      return outcome;
+    }
+  }
+
   ++outstanding_;
   jobs_.emplace(id, std::move(entry));
   logf("job %llu accepted (session %llu, class %s, mapper %s)",
@@ -356,6 +525,11 @@ SubmitOutcome Daemon::submit(std::uint64_t session,
 }
 
 Json Daemon::status_body(std::uint64_t id, const JobEntry& entry) const {
+  if (entry.restored_status.has_value()) {
+    // Journal-restored terminal job: answer the recorded status verbatim
+    // (there is no live handle behind it).
+    return *entry.restored_status;
+  }
   Json body = Json::object();
   body.set("job", Json(id));
   body.set("class", Json(entry.priority_class));
@@ -396,7 +570,9 @@ std::optional<Json> Daemon::job_status(std::uint64_t job) {
 bool Daemon::cancel_job(std::uint64_t job) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return false;
-  it->second.handle.cancel();
+  // Restored terminal jobs have no live handle; cancelling a terminal
+  // job is an idempotent success either way.
+  if (!it->second.restored_status.has_value()) it->second.handle.cancel();
   return true;
 }
 
@@ -416,6 +592,210 @@ bool Daemon::subscribe(std::uint64_t session, std::uint64_t job) {
   return true;
 }
 
+// ---- journal ---------------------------------------------------------------
+
+Json Daemon::submitted_record(std::uint64_t id, const JobEntry& entry) const {
+  Json record = Json::object();
+  record.set("type", Json("submitted"));
+  record.set("job", Json(id));
+  record.set("submit", entry.submit_json);
+  return record;
+}
+
+void Daemon::journal_append(const Json& record, bool sync) {
+  if (journal_ == nullptr) return;
+  try {
+    journal_->append(record, sync);
+  } catch (const Error& ex) {
+    // Degrade, don't die: a failed progress/terminal append means the job
+    // is re-executed after a restart (same deterministic result), never
+    // lost or wrongly acknowledged. Only the submit-path append rejects
+    // work, because there the acknowledgement *is* the durability promise.
+    logf("journal: append failed: %s", ex.what());
+  }
+}
+
+void Daemon::compact_journal() {
+  if (journal_ == nullptr) return;
+  std::vector<Json> records;
+  records.reserve(2 * jobs_.size());
+  for (const auto& [id, entry] : jobs_) {
+    if (entry.submit_json.is_object()) {
+      records.push_back(submitted_record(id, entry));
+    }
+    Json record = Json::object();
+    if (entry.terminal) {
+      record.set("type", Json("terminal"));
+      record.set("job", Json(id));
+      record.set("status", status_body(id, entry));
+      records.push_back(std::move(record));
+    } else if (entry.started) {
+      record.set("type", Json("started"));
+      record.set("job", Json(id));
+      records.push_back(std::move(record));
+    }
+  }
+  try {
+    journal_->rewrite(records);
+    logf("journal: compacted to %zu record(s)", records.size());
+  } catch (const Error& ex) {
+    logf("journal: compaction failed: %s", ex.what());
+  }
+}
+
+void Daemon::init_journal() {
+  JournalReplay replay = replay_journal(options_.journal_path);
+  if (replay.tail_dropped) {
+    logf("journal: dropping uncommitted tail of %s (%s)",
+         options_.journal_path.c_str(), replay.tail_error.c_str());
+  }
+
+  // Fold the record stream into per-job recovery state. Later records
+  // win (a job's terminal status supersedes its progress markers).
+  struct Recovered {
+    Json submit;
+    bool have_submit = false;
+    bool started = false;
+    std::optional<Json> terminal;
+  };
+  std::map<std::uint64_t, Recovered> recovered;
+  for (const Json& record : replay.records) {
+    if (!record.contains("type") || !record.at("type").is_string() ||
+        !record.contains("job") || !record.at("job").is_number()) {
+      continue;  // unknown shape: skip, stay forward-compatible
+    }
+    const std::string type = record.at("type").as_string();
+    const auto id = static_cast<std::uint64_t>(record.at("job").as_int());
+    Recovered& job = recovered[id];
+    if (type == "submitted" && record.contains("submit")) {
+      job.submit = record.at("submit");
+      job.have_submit = true;
+    } else if (type == "started") {
+      job.started = true;
+    } else if (type == "terminal" && record.contains("status")) {
+      job.terminal = record.at("status");
+    }
+  }
+
+  std::size_t restored = 0;
+  std::size_t requeued = 0;
+  for (auto& [id, job] : recovered) {
+    next_job_id_ = std::max(next_job_id_, id + 1);
+    JobEntry entry;
+    if (job.have_submit) entry.submit_json = job.submit;
+
+    if (job.terminal.has_value()) {
+      // Finished before the restart: keep the recorded status answerable
+      // under the original job id.
+      entry.terminal = true;
+      entry.restored_status = std::move(job.terminal);
+      if (entry.restored_status->contains("class") &&
+          entry.restored_status->at("class").is_string()) {
+        entry.priority_class =
+            entry.restored_status->at("class").as_string();
+      }
+      jobs_.emplace(id, std::move(entry));
+      retain_completed(id);
+      ++restored;
+      continue;
+    }
+    if (!job.have_submit) continue;  // nothing actionable
+
+    // Acknowledged but never finished: re-enqueue from the journaled
+    // submit body under the original wire id. Construction seeds ride in
+    // the body, so a pinned job re-runs bit-identically.
+    std::string cls = "normal";
+    try {
+      const WireSubmit request = wire_submit_from_json(job.submit);
+      cls = request.priority_class;
+      (void)MapperRegistry::instance().at(
+          MapperRegistry::split_spec(request.mapper_spec).first);
+
+      MapJob mjob;
+      mjob.graph = resolve_graph(request);
+      mjob.platform = resolve_platform(request);
+      mjob.mapper_spec = request.mapper_spec;
+      mjob.inner_orders = 0;
+      mjob.reporting_orders = request.reporting_orders;
+      mjob.priority = request.priority;
+      if (request.construction_seed.has_value()) {
+        mjob.construction_rng = Rng(*request.construction_seed);
+      }
+      const std::uint64_t wire_id = id;
+      mjob.on_terminal = [this, wire_id](std::uint64_t, JobStatus,
+                                         const MapJobResult&) {
+        Event event;
+        event.kind = Event::Kind::kTerminal;
+        event.job = wire_id;
+        push_event(std::move(event));
+      };
+      mjob.on_start = [this, wire_id](std::uint64_t) {
+        Event event;
+        event.kind = Event::Kind::kStarted;
+        event.job = wire_id;
+        push_event(std::move(event));
+      };
+      MapRequest run;
+      run.deadline_ms = request.deadline_ms;
+      run.max_evaluations = request.max_evaluations;
+      run.max_iterations = request.max_iterations;
+      run.seed = request.seed;
+      run.on_incumbent = [this, wire_id](const IncumbentRecord& record) {
+        Event event;
+        event.kind = Event::Kind::kIncumbent;
+        event.job = wire_id;
+        event.incumbent = record;
+        push_event(std::move(event));
+      };
+
+      // Recovery may momentarily hold more than max_queued jobs (what was
+      // queued plus what was running at the crash); wait for queue space
+      // instead of dropping acknowledged work.
+      std::optional<MappingService::JobHandle> handle =
+          service_->try_submit(mjob, run);
+      for (int i = 0; !handle.has_value() && i < 3000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        handle = service_->try_submit(mjob, run);
+      }
+      require(handle.has_value(),
+              "journal recovery: queue stayed full for 30s");
+
+      entry.handle = *std::move(handle);
+      entry.priority_class = request.priority_class;
+      entry.want_mapping = request.want_mapping;
+      ++outstanding_;
+      jobs_.emplace(id, std::move(entry));
+      ++requeued;
+    } catch (const Error& ex) {
+      // The journaled body no longer runs (mapper renamed, schema drift):
+      // surface it as a failed job rather than forgetting it.
+      Json status = Json::object();
+      status.set("job", Json(id));
+      status.set("class", Json(cls));
+      status.set("state", Json("failed"));
+      status.set("error",
+                 Json(std::string("journal recovery: ") + ex.what()));
+      entry.terminal = true;
+      entry.restored_status = std::move(status);
+      entry.priority_class = cls;
+      jobs_.emplace(id, std::move(entry));
+      retain_completed(id);
+      ++restored;
+    }
+  }
+
+  // Open for append and compact away replaced/duplicate records (and any
+  // dropped tail bytes) right away.
+  journal_ = std::make_unique<Journal>(options_.journal_path);
+  compact_journal();
+  if (!recovered.empty() || replay.tail_dropped) {
+    logf("journal: replayed %s (%zu record(s): %zu terminal restored, "
+         "%zu re-enqueued)",
+         options_.journal_path.c_str(), replay.records.size(), restored,
+         requeued);
+  }
+}
+
 // ---- IO loop ---------------------------------------------------------------
 
 void Daemon::accept_clients(double now) {
@@ -424,6 +804,11 @@ void Daemon::accept_clients(double now) {
   for (;;) {
     Socket client = listener_->accept_client();
     if (!client.valid()) return;
+    if (failpoint("daemon.accept")) {
+      // Injected accept failure: drop the fresh connection on the floor
+      // (the client sees an immediate close and retries with backoff).
+      continue;
+    }
     const std::uint64_t id = next_session_id_++;
     SessionConfig config;
     config.idle_timeout_s = options_.idle_timeout_s;
@@ -446,6 +831,12 @@ bool Daemon::enqueue_lines(Conn& conn,
 
 bool Daemon::flush_outbuf(Conn& conn) {
   if (!conn.socket.valid()) return false;
+  if (failpoint("daemon.flush")) {
+    // Injected write failure: the connection dies mid-stream, exactly
+    // like a peer vanishing between our send and its read.
+    conn.socket.close();
+    return false;
+  }
   while (!conn.outbuf.empty()) {
     const ssize_t n =
         send_some(conn.socket.fd(), conn.outbuf.data(), conn.outbuf.size());
@@ -485,19 +876,35 @@ void Daemon::conn_readable(std::uint64_t id, Conn& conn, double now) {
   if (eof) conn.socket.close();
 }
 
-void Daemon::reap_connections() {
+void Daemon::reap_connections(double now) {
   for (auto it = conns_.begin(); it != conns_.end();) {
     Conn& conn = it->second;
     const bool dead = !conn.socket.valid();
     const bool finished = conn.session.closed() && conn.outbuf.empty();
-    if (dead || finished) {
-      logf("session %llu closed (%s)",
-           static_cast<unsigned long long>(it->first),
-           dead ? "peer gone" : to_string(conn.session.state()));
-      it = conns_.erase(it);
-    } else {
+    if (!dead && !finished) {
       ++it;
+      continue;
     }
+    // The session record outlives an *abrupt* disconnect (peer vanished
+    // mid-protocol): detach it and let `resume` re-attach within the
+    // resume window. A cleanly-closed session is done — drop the record.
+    const auto session_it = sessions_.find(conn.session.id());
+    if (session_it != sessions_.end() &&
+        session_it->second.conn == it->first) {
+      if (dead && !conn.session.closed()) {
+        session_it->second.conn = 0;
+        session_it->second.detached_at = now;
+        logf("session %llu detached (resumable %.0fs)",
+             static_cast<unsigned long long>(session_it->first),
+             options_.resume_window_s);
+      } else {
+        sessions_.erase(session_it);
+      }
+    }
+    logf("session %llu closed (%s)",
+         static_cast<unsigned long long>(it->first),
+         dead ? "peer gone" : to_string(conn.session.state()));
+    it = conns_.erase(it);
   }
 }
 
@@ -579,7 +986,8 @@ int Daemon::run() {
         }
       }
     }
-    reap_connections();
+    reap_connections(now);
+    expire_sessions(now);
 
     fds.clear();
     fd_conn.clear();

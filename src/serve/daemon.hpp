@@ -40,6 +40,26 @@
 /// (grace + max(grace, 2s)) are abandoned and `run()` returns 1. A
 /// clean drain — every job terminal, every `done` event flushed —
 /// returns 0.
+///
+/// ## Crash safety (journal) and reconnect (resume)
+///
+/// With `journal_path` set, every job state transition is written
+/// through an `spmap-journal/1` log (serve/journal.hpp) — `submitted`
+/// and `terminal` records are fsynced before the corresponding wire
+/// acknowledgement leaves the daemon — and replayed at startup: a
+/// restarted daemon answers `status` (terminal results included) for
+/// every pre-restart job and re-enqueues jobs that never turned
+/// terminal. The journal is written and compacted from the IO thread
+/// only, extending the thread-safety contract above unchanged.
+///
+/// Independently of the journal, every helloed connection gets a
+/// session token, and each session's pushed events carry a monotonic
+/// `event_seq`; a reconnecting client presents the token via the
+/// `resume` verb and receives exactly the events it missed (the daemon
+/// keeps a bounded per-session backlog for `resume_window_s` after an
+/// abrupt disconnect). Resumption is in-memory: it survives connection
+/// loss, not daemon restarts — after a restart clients fall back to a
+/// fresh hello and poll by job id, which the journal keeps answerable.
 
 #include <atomic>
 #include <cstdint>
@@ -53,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "serve/mapping_service.hpp"
 #include "serve/session.hpp"
 #include "serve/wire.hpp"
@@ -87,6 +108,12 @@ struct DaemonOptions {
   /// Terminal jobs kept addressable for status/subscribe; older ones are
   /// evicted FIFO (bounds daemon memory under sustained load).
   std::size_t completed_retention = 1024;
+  /// Crash-safety journal path (spmap-journal/1); empty disables the
+  /// journal (jobs are forgotten on restart, the pre-PR-7 behavior).
+  std::string journal_path;
+  /// Seconds a session stays resumable after an abrupt disconnect; the
+  /// per-session event backlog is dropped once the window closes.
+  double resume_window_s = 120.0;
   /// Install SIGTERM/SIGINT handlers that trigger a graceful drain
   /// (process-global: for the CLI, not for embedded/test daemons).
   bool install_signal_handlers = false;
@@ -129,6 +156,9 @@ class Daemon : public SessionHost {
   void begin_drain(double grace_ms) override;
   bool draining() const override;
   Json server_info() const override;
+  std::string register_session(std::uint64_t session) override;
+  ResumeOutcome resume_session(std::uint64_t conn, const std::string& token,
+                               std::uint64_t last_seq) override;
 
  private:
   /// One accepted connection: socket, protocol FSM, buffers.
@@ -150,13 +180,31 @@ class Daemon : public SessionHost {
     MappingService::JobHandle handle;
     std::string priority_class;
     bool want_mapping = false;
+    bool started = false;   ///< a worker picked it up (journaled)
     bool terminal = false;
     std::set<std::uint64_t> subscribers;  ///< session ids
+    /// Wire submit body, kept for journal compaction (journal mode only).
+    Json submit_json;
+    /// Terminal status restored from the journal after a restart — such
+    /// an entry has no live handle; status answers from this verbatim.
+    std::optional<Json> restored_status;
+  };
+
+  /// One resumable session (IO thread only): issued at hello, detached
+  /// on abrupt disconnect, re-attached by `resume`, expired after
+  /// `resume_window_s` detached seconds.
+  struct SessionRecord {
+    std::string token;
+    std::uint64_t conn = 0;       ///< attached connection id; 0 = detached
+    std::uint64_t next_seq = 1;   ///< next event_seq to assign
+    /// Recent sequenced event lines, for resume replay (bounded).
+    std::deque<std::pair<std::uint64_t, std::string>> backlog;
+    double detached_at = 0.0;     ///< clock_ seconds; valid when detached
   };
 
   /// Worker-to-IO-thread notification (see the header comment).
   struct Event {
-    enum class Kind { kIncumbent, kTerminal, kReplayDone } kind;
+    enum class Kind { kStarted, kIncumbent, kTerminal, kReplayDone } kind;
     std::uint64_t job = 0;
     IncumbentRecord incumbent;   ///< kIncumbent
     std::uint64_t session = 0;   ///< kReplayDone target
@@ -172,7 +220,7 @@ class Daemon : public SessionHost {
   /// Appends lines and flushes; false when the connection died.
   bool enqueue_lines(Conn& conn, const std::vector<std::string>& lines);
   bool flush_outbuf(Conn& conn);
-  void reap_connections();
+  void reap_connections(double now);
 
   void start_drain(double now);
   /// Graduated per-class admission bound (see the header comment).
@@ -181,6 +229,28 @@ class Daemon : public SessionHost {
   std::shared_ptr<const TaskGraph> resolve_graph(const WireSubmit& request);
   std::shared_ptr<const Platform> resolve_platform(const WireSubmit& request);
   Json status_body(std::uint64_t id, const JobEntry& entry) const;
+
+  /// Assigns `event_seq`, appends to the session's backlog, and sends the
+  /// line when the session has an attached live connection.
+  void send_event(std::uint64_t session, const std::string& event,
+                  Json body);
+  /// Registers a terminal job in the retention FIFO, evicting past the
+  /// retention bound.
+  void retain_completed(std::uint64_t job);
+  /// Drops detached sessions whose resume window closed.
+  void expire_sessions(double now);
+
+  // ---- journal (all IO-thread; no-ops when the journal is off) ----
+  /// Replays `journal_path`, restores terminal jobs, re-enqueues
+  /// unfinished ones, and opens (compacted) for append.
+  void init_journal();
+  /// Appends one record, logging instead of failing the daemon: a broken
+  /// journal degrades to re-execution after restart, never lost jobs.
+  void journal_append(const Json& record, bool sync);
+  /// Rewrites the journal as one submitted(+started/terminal) record per
+  /// retained job, bounding the file by the completed retention.
+  void compact_journal();
+  Json submitted_record(std::uint64_t id, const JobEntry& entry) const;
 
   void logf(const char* fmt, ...) const;
 
@@ -195,10 +265,18 @@ class Daemon : public SessionHost {
   std::map<std::uint64_t, Conn> conns_;
   std::uint64_t next_session_id_ = 1;
 
+  /// Resumable sessions keyed by session id (== the id of the connection
+  /// that helloed them; a resumed session keeps its id across conns).
+  std::map<std::uint64_t, SessionRecord> sessions_;
+  Rng token_rng_;
+  double last_session_sweep_s_ = 0.0;
+
   std::map<std::uint64_t, JobEntry> jobs_;
   std::deque<std::uint64_t> completed_order_;  ///< retention FIFO
   std::uint64_t next_job_id_ = 1;
   std::size_t outstanding_ = 0;  ///< submitted, not yet terminal
+
+  std::unique_ptr<Journal> journal_;  ///< null when journaling is off
 
   std::mutex events_mutex_;
   std::deque<Event> events_;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -123,7 +124,28 @@ struct SessionOutcome {
   std::map<std::string, LoadgenClassStats> counts;
   std::vector<std::string> errors;
   bool connected = false;
+  // Chaos accounting (see LoadgenReport).
+  std::size_t drops = 0;
+  std::size_t resumes = 0;
+  std::size_t rehellos = 0;
+  std::size_t lost = 0;
+  std::size_t duplicated = 0;
 };
+
+WireClientOptions client_options(const LoadgenOptions& options,
+                                 std::uint64_t session_index) {
+  WireClientOptions copts;
+  copts.connect_timeout_ms = options.connect_timeout_ms;
+  copts.connect_retries = options.connect_retries;
+  copts.backoff_ms = options.backoff_ms;
+  copts.jitter_seed = options.seed ^ (0x6a17e500u + session_index);
+  if (options.chaos) {
+    // Chaos recovery has to ride out daemon restarts: give reconnect a
+    // real retry schedule even when the caller asked for none.
+    copts.connect_retries = std::max<std::size_t>(copts.connect_retries, 10);
+  }
+  return copts;
+}
 
 void note_error(SessionOutcome& out, std::string message) {
   if (out.errors.size() < 8) out.errors.push_back(std::move(message));
@@ -170,7 +192,7 @@ void run_closed_session(const LoadgenOptions& options,
                         const std::vector<MixEntry>& mix,
                         std::uint64_t first_index, std::uint64_t count,
                         SessionOutcome& out) {
-  WireClient client(options.endpoint, options.connect_timeout_ms);
+  WireClient client(options.endpoint, client_options(options, first_index));
   out.connected = true;
   const WallTimer clock;
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -218,11 +240,187 @@ void run_closed_session(const LoadgenOptions& options,
   }
 }
 
+/// A uniform [0,1) roll from the session's deterministic chaos stream.
+bool chaos_roll(Rng& rng, double rate) {
+  return (static_cast<double>(rng() >> 11) * 0x1.0p-53) < rate;
+}
+
+/// Reconnects until the endpoint answers again (the daemon may be mid-
+/// restart under the supervisor). True when the session resumed; false
+/// when it fell back to a fresh hello.
+bool chaos_recover(WireClient& client, SessionOutcome& out) {
+  const WallTimer timer;
+  for (;;) {
+    try {
+      const bool resumed = client.reconnect(/*try_resume=*/true);
+      if (resumed) {
+        ++out.resumes;
+      } else {
+        ++out.rehellos;
+      }
+      return resumed;
+    } catch (const Error& ex) {
+      if (timer.seconds() > 60.0) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+/// Chaos closed loop: one request at a time, but the connection is
+/// deliberately killed around the interesting points, and the session
+/// must still account for every acknowledged submit exactly once.
+void run_chaos_session(const LoadgenOptions& options,
+                       const std::vector<MixEntry>& mix,
+                       std::uint64_t first_index, std::uint64_t count,
+                       SessionOutcome& out) {
+  WireClient client(options.endpoint, client_options(options, first_index));
+  out.connected = true;
+  std::uint64_t chaos_state = options.seed ^ (0xc4a05u + first_index);
+  Rng chaos_rng(splitmix64(chaos_state));
+  const WallTimer clock;
+  std::set<std::uint64_t> recorded;  // job ids already accounted terminal
+
+  // Reads the next response (skipping events, which are accounted only
+  // for duplicate detection). Throws on connection loss.
+  const auto next_answer = [&]() -> std::optional<Json> {
+    for (;;) {
+      std::optional<Json> frame = client.recv(60e3);
+      if (!frame.has_value() || !frame->contains("event")) return frame;
+      if (frame->at("event").as_string() == "done" &&
+          frame->contains("job")) {
+        const auto jid =
+            static_cast<std::uint64_t>(frame->at("job").as_int());
+        if (recorded.count(jid) != 0) ++out.duplicated;
+      }
+    }
+  };
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t index = first_index + i;
+    const RequestSpec spec = request_spec(options, index, mix);
+    ++out.counts[spec.cls].submitted;
+    const double t0 = clock.seconds();
+
+    // ---- submit until acknowledged --------------------------------------
+    // A drop between send and answer leaves the submit's fate unknown: we
+    // re-submit. If the first copy *was* accepted it runs as an orphan
+    // whose done event we ignore (its job id is never known to us) — the
+    // daemon wastes a run, but the request is recorded exactly once.
+    std::uint64_t job = 0;
+    bool settled = false;  // rejected/failed before acknowledgement
+    for (;;) {
+      try {
+        client.send(submit_frame(options, index, spec));
+        if (options.chaos && chaos_roll(chaos_rng, options.chaos_drop_rate)) {
+          ++out.drops;
+          client.drop_connection();
+          chaos_recover(client, out);
+          continue;  // fate unknown: re-submit
+        }
+        std::optional<Json> answer = next_answer();
+        if (!answer.has_value()) {
+          ++out.counts[spec.cls].failed;
+          note_error(out, "submit response timed out");
+          settled = true;
+          break;
+        }
+        if (!frame_ok(*answer)) {
+          if (frame_error_code(*answer) == "overloaded") {
+            ++out.counts[spec.cls].rejected;
+          } else {
+            ++out.counts[spec.cls].failed;
+            note_error(out, "submit refused: " + answer->dump());
+          }
+          settled = true;
+          break;
+        }
+        job = static_cast<std::uint64_t>(answer->at("job").as_int());
+        break;
+      } catch (const Error&) {
+        ++out.drops;  // incidental: daemon killed mid-submit
+        chaos_recover(client, out);
+      }
+    }
+    if (settled) continue;
+
+    // ---- post-ack injected drop -----------------------------------------
+    // Counted in the await loop below, where the dead socket surfaces.
+    if (options.chaos && chaos_roll(chaos_rng, options.chaos_drop_rate)) {
+      client.drop_connection();
+    }
+
+    // ---- await the terminal result, across drops and restarts -----------
+    bool done = false;
+    bool poll_status = false;  // lost the subscription: fall back to status
+    const WallTimer request_timer;
+    while (!done) {
+      if (request_timer.seconds() > 180.0) {
+        ++out.counts[spec.cls].failed;
+        ++out.lost;
+        note_error(out, "job " + std::to_string(job) +
+                            " never turned terminal (180s)");
+        break;
+      }
+      try {
+        if (poll_status) {
+          Json status = Json::object();
+          status.set("op", Json("status"));
+          status.set("job", Json(job));
+          client.send(status);
+          std::optional<Json> answer = next_answer();
+          if (!answer.has_value()) continue;
+          if (!frame_ok(*answer)) {
+            // The daemon does not know the job: an acknowledged submit
+            // was lost — exactly what the journal must prevent.
+            ++out.counts[spec.cls].failed;
+            ++out.lost;
+            note_error(out, "job " + std::to_string(job) +
+                                " unknown after reconnect: " +
+                                answer->dump());
+            break;
+          }
+          const std::string state = answer->at("state").as_string();
+          if (state == "queued" || state == "running") {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            continue;
+          }
+          record_done(*answer, spec, 1e3 * (clock.seconds() - t0), out);
+          recorded.insert(job);
+          done = true;
+          continue;
+        }
+        std::optional<Json> frame = client.recv_event("done", 120e3);
+        if (!frame.has_value()) continue;  // request_timer bounds us
+        const auto jid =
+            static_cast<std::uint64_t>(frame->at("job").as_int());
+        if (jid != job) {
+          // A replayed orphan or straggler; double delivery of an
+          // already-recorded job counts as duplication.
+          if (recorded.count(jid) != 0) ++out.duplicated;
+          continue;
+        }
+        record_done(*frame, spec, 1e3 * (clock.seconds() - t0), out);
+        recorded.insert(job);
+        done = true;
+      } catch (const Error&) {
+        ++out.drops;
+        const bool resumed = chaos_recover(client, out);
+        // Resumed: the missed events (the done included, if it fired
+        // while we were gone) were just replayed — keep listening. Fresh
+        // hello: the subscription is gone; poll status by job id, which
+        // a journaled daemon answers across restarts.
+        if (!resumed) poll_status = true;
+      }
+    }
+  }
+}
+
 /// Open loop: submit on a cadence, collect completions as they arrive.
 void run_open_session(const LoadgenOptions& options,
                       const std::vector<MixEntry>& mix,
                       std::uint64_t session_index, SessionOutcome& out) {
-  WireClient client(options.endpoint, options.connect_timeout_ms);
+  WireClient client(options.endpoint,
+                    client_options(options, session_index));
   out.connected = true;
   const WallTimer clock;
   const double interval_s = 1.0 / std::max(options.rate_hz, 1e-3);
@@ -365,6 +563,8 @@ void verify_samples(const LoadgenOptions& options,
 
 LoadgenReport run_loadgen(const LoadgenOptions& options) {
   require(options.sessions >= 1, "loadgen: sessions must be >= 1");
+  require(!options.chaos || !options.open_loop,
+          "loadgen: chaos mode requires the closed loop");
   const std::vector<MixEntry> mix = parse_mix(options.mix);
 
   std::vector<SessionOutcome> outcomes(options.sessions);
@@ -389,7 +589,11 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
             first += options.requests / options.sessions +
                      (t < options.requests % options.sessions ? 1 : 0);
           }
-          run_closed_session(options, mix, first, base + extra, out);
+          if (options.chaos) {
+            run_chaos_session(options, mix, first, base + extra, out);
+          } else {
+            run_closed_session(options, mix, first, base + extra, out);
+          }
         }
       } catch (const std::exception& ex) {
         note_error(out, std::string("session failed: ") + ex.what());
@@ -423,6 +627,11 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
         report.errors.push_back(std::move(error));
       }
     }
+    report.drops += out.drops;
+    report.resumes += out.resumes;
+    report.rehellos += out.rehellos;
+    report.lost += out.lost;
+    report.duplicated += out.duplicated;
   }
   require(any_connected,
           "loadgen: no session could connect to " +
@@ -481,6 +690,15 @@ Json loadgen_report_json(const LoadgenOptions& options,
   doc.set("failed", Json(report.failed));
   doc.set("verified", Json(report.verified));
   doc.set("mismatches", Json(report.mismatches));
+  if (options.chaos) {
+    doc.set("chaos", Json(true));
+    doc.set("chaos_drop_rate", Json(options.chaos_drop_rate));
+    doc.set("drops", Json(report.drops));
+    doc.set("resumes", Json(report.resumes));
+    doc.set("rehellos", Json(report.rehellos));
+    doc.set("lost", Json(report.lost));
+    doc.set("duplicated", Json(report.duplicated));
+  }
   Json classes = Json::object();
   for (const auto& [cls, stats] : report.classes) {
     Json entry = Json::object();

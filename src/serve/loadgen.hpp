@@ -67,6 +67,20 @@ struct LoadgenOptions {
   /// bit-identically.
   bool verify = false;
   double connect_timeout_ms = 5000.0;
+  /// Extra connect attempts with exponential backoff (WireClientOptions);
+  /// chaos recovery raises this floor on its own.
+  std::size_t connect_retries = 0;
+  /// First backoff delay between connect attempts.
+  double backoff_ms = 50.0;
+  /// Chaos mode (closed loop only): deterministically drop the
+  /// connection around submit/await points and recover via resume — or
+  /// via re-hello + status polling when the daemon restarted and no
+  /// longer knows the session. Tightens the accounting invariant to
+  /// "every acknowledged submit is recorded terminal exactly once":
+  /// `lost` and `duplicated` in the report must stay zero.
+  bool chaos = false;
+  /// Probability of an injected drop at each opportunity point.
+  double chaos_drop_rate = 0.15;
 };
 
 /// Per-priority-class latency/throughput aggregate.
@@ -95,6 +109,12 @@ struct LoadgenReport {
   /// and how many disagreed with the server bit-for-bit.
   std::size_t verified = 0;
   std::size_t mismatches = 0;
+  // Chaos-mode accounting (all zero outside chaos mode).
+  std::size_t drops = 0;       ///< connection losses, injected + incidental
+  std::size_t resumes = 0;     ///< reconnects that resumed the session
+  std::size_t rehellos = 0;    ///< reconnects that fell back to fresh hello
+  std::size_t lost = 0;        ///< acknowledged submits with no terminal
+  std::size_t duplicated = 0;  ///< terminal results delivered twice
   /// First few protocol/session errors, for diagnostics.
   std::vector<std::string> errors;
 };

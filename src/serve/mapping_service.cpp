@@ -211,6 +211,7 @@ void MappingService::worker_loop() {
       if (discarded_cancelled) ++stats_.cancelled;
     }
     if (run) {
+      if (state->job.on_start) state->job.on_start(state->id);
       const JobStatus final_status = execute(*state);
       std::unique_lock<std::mutex> lock(mutex_);
       --stats_.running;

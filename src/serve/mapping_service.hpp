@@ -169,6 +169,12 @@ struct MapJob {
   std::function<void(std::uint64_t id, JobStatus status,
                      const MapJobResult& result)>
       on_terminal;
+  /// Fired once when a worker picks the job up (kQueued -> kRunning), from
+  /// that worker, outside every service lock. Not fired for jobs cancelled
+  /// while queued. Same non-blocking contract as `on_terminal`; the daemon
+  /// journals the transition so a restart can tell started work apart from
+  /// work that never left the queue.
+  std::function<void(std::uint64_t id)> on_start;
 };
 
 /// What a finished job yields.

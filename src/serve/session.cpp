@@ -74,6 +74,75 @@ int priority_of_class(const std::string& cls) {
 
 }  // namespace
 
+Json to_json(const WireSubmit& request) {
+  Json body = Json::object();
+  body.set("mapper", Json(request.mapper_spec));
+  body.set("class", Json(request.priority_class));
+  if (request.graph.has_value()) body.set("graph", *request.graph);
+  if (request.generate.has_value()) body.set("generate", *request.generate);
+  if (request.platform.has_value()) body.set("platform", *request.platform);
+  if (request.deadline_ms > 0.0) {
+    body.set("deadline_ms", Json(request.deadline_ms));
+  }
+  if (request.max_evaluations > 0) {
+    body.set("max_evals", Json(static_cast<std::uint64_t>(
+                              request.max_evaluations)));
+  }
+  if (request.max_iterations > 0) {
+    body.set("max_iters", Json(static_cast<std::uint64_t>(
+                              request.max_iterations)));
+  }
+  if (request.seed.has_value()) body.set("seed", Json(*request.seed));
+  if (request.construction_seed.has_value()) {
+    body.set("construction_seed", Json(*request.construction_seed));
+  }
+  if (request.reporting_orders > 0) {
+    body.set("reporting_orders", Json(static_cast<std::uint64_t>(
+                                     request.reporting_orders)));
+  }
+  if (request.subscribe) body.set("subscribe", Json(true));
+  if (request.want_mapping) body.set("return_mapping", Json(true));
+  return body;
+}
+
+WireSubmit wire_submit_from_json(const Json& body) {
+  WireSubmit request;
+  body.require_keys(
+      "submit",
+      {"op", "tag", "mapper", "class", "graph", "generate", "platform",
+       "deadline_ms", "max_evals", "max_iters", "seed", "construction_seed",
+       "reporting_orders", "subscribe", "return_mapping"});
+  require(body.contains("mapper") && body.at("mapper").is_string() &&
+              !body.at("mapper").as_string().empty(),
+          "\"mapper\" must be a non-empty registry spec string");
+  request.mapper_spec = body.at("mapper").as_string();
+  if (body.contains("class")) {
+    require(body.at("class").is_string(), "\"class\" must be a string");
+    request.priority_class = body.at("class").as_string();
+  }
+  request.priority = priority_of_class(request.priority_class);
+  const bool has_graph = body.contains("graph");
+  const bool has_generate = body.contains("generate");
+  require(has_graph != has_generate,
+          "exactly one of \"graph\" (inline document) or \"generate\" "
+          "(server-side generation spec) is required");
+  if (has_graph) request.graph = object_field(body, "graph");
+  if (has_generate) request.generate = object_field(body, "generate");
+  if (body.contains("platform")) {
+    request.platform = object_field(body, "platform");
+  }
+  request.deadline_ms = number_field(body, "deadline_ms", 0.0);
+  require(request.deadline_ms >= 0.0, "\"deadline_ms\" must be >= 0");
+  request.max_evaluations = count_field(body, "max_evals", 0);
+  request.max_iterations = count_field(body, "max_iters", 0);
+  request.seed = seed_field(body, "seed");
+  request.construction_seed = seed_field(body, "construction_seed");
+  request.reporting_orders = count_field(body, "reporting_orders", 0);
+  request.subscribe = bool_field(body, "subscribe", false);
+  request.want_mapping = bool_field(body, "return_mapping", false);
+  return request;
+}
+
 Session::Session(std::uint64_t id, SessionHost& host, SessionConfig config)
     : id_(id), host_(&host), config_(config) {}
 
@@ -100,9 +169,9 @@ std::vector<std::string> Session::on_frame(const std::string& line,
 
   if (state_ == SessionState::kHandshake) return handle_hello(frame);
 
-  if (frame.op == "hello") {
+  if (frame.op == "hello" || frame.op == "resume") {
     return {error_line(WireErrorCode::kBadRequest, "handshake already done",
-                       Json(Json::Object{{"op", Json("hello")}}))};
+                       Json(Json::Object{{"op", Json(frame.op)}}))};
   }
   if (frame.op == "submit") return handle_submit(frame);
   if (frame.op == "status") return handle_status(frame);
@@ -146,11 +215,12 @@ std::vector<std::string> Session::on_server_drain() {
 }
 
 std::vector<std::string> Session::handle_hello(const Frame& frame) {
+  if (frame.op == "resume") return handle_resume(frame);
   if (frame.op != "hello") {
     state_ = SessionState::kClosed;
     return {error_line(WireErrorCode::kHandshakeRequired,
                        "first frame must be {\"op\":\"hello\",\"proto\":\"" +
-                           std::string(kWireProtocol) + "\"}")};
+                           std::string(kWireProtocol) + "\"} (or resume)")};
   }
   if (!frame.body.contains("proto") || !frame.body.at("proto").is_string() ||
       frame.body.at("proto").as_string() != kWireProtocol) {
@@ -163,11 +233,65 @@ std::vector<std::string> Session::handle_hello(const Frame& frame) {
   Json body = Json::object();
   body.set("op", Json("hello"));
   body.set("proto", Json(kWireProtocol));
+  const std::string token = host_->register_session(id_);
+  if (!token.empty()) {
+    body.set("session", Json(id_));
+    body.set("token", Json(token));
+  }
   Json info = host_->server_info();
   for (auto& [key, value] : info.as_object()) {
     body.set(key, std::move(value));
   }
   return {ok_line(std::move(body))};
+}
+
+std::vector<std::string> Session::handle_resume(const Frame& frame) {
+  std::string token;
+  std::uint64_t last_seq = 0;
+  try {
+    frame.body.require_keys("resume", {"op", "proto", "token", "last_seq"});
+    require(frame.body.contains("proto") &&
+                frame.body.at("proto").is_string() &&
+                frame.body.at("proto").as_string() == kWireProtocol,
+            std::string("server speaks ") + kWireProtocol);
+    require(frame.body.contains("token") &&
+                frame.body.at("token").is_string() &&
+                !frame.body.at("token").as_string().empty(),
+            "\"token\" must be the non-empty token hello issued");
+    token = frame.body.at("token").as_string();
+    last_seq = static_cast<std::uint64_t>(
+        count_field(frame.body, "last_seq", 0));
+  } catch (const Error& ex) {
+    state_ = SessionState::kClosed;
+    return {error_line(WireErrorCode::kBadHandshake, ex.what())};
+  }
+  ResumeOutcome outcome = host_->resume_session(id_, token, last_seq);
+  if (!outcome.ok) {
+    // Stay in kHandshake: the client falls back to a fresh hello on the
+    // same connection (the daemon it reconnected to may have restarted
+    // and legitimately not know the token).
+    return {error_line(outcome.code, outcome.message,
+                       Json(Json::Object{{"op", Json("resume")}}))};
+  }
+  // Adopt the old session's identity: the host re-pointed its job table
+  // and subscriptions at this connection under the resumed id.
+  id_ = outcome.session;
+  state_ = host_->draining() ? SessionState::kDraining
+                             : SessionState::kActive;
+  Json body = Json::object();
+  body.set("op", Json("resume"));
+  body.set("proto", Json(kWireProtocol));
+  body.set("session", Json(outcome.session));
+  body.set("token", Json(outcome.token));
+  body.set("replayed", Json(static_cast<std::uint64_t>(
+                           outcome.replay.size())));
+  std::vector<std::string> lines;
+  lines.reserve(1 + outcome.replay.size());
+  lines.push_back(ok_line(std::move(body)));
+  for (std::string& line : outcome.replay) {
+    lines.push_back(std::move(line));
+  }
+  return lines;
 }
 
 std::vector<std::string> Session::handle_submit(const Frame& frame) {
@@ -183,45 +307,7 @@ std::vector<std::string> Session::handle_submit(const Frame& frame) {
 
   WireSubmit request;
   try {
-    frame.body.require_keys(
-        "submit",
-        {"op", "tag", "mapper", "class", "graph", "generate", "platform",
-         "deadline_ms", "max_evals", "max_iters", "seed",
-         "construction_seed", "reporting_orders", "subscribe",
-         "return_mapping"});
-    require(frame.body.contains("mapper") &&
-                frame.body.at("mapper").is_string() &&
-                !frame.body.at("mapper").as_string().empty(),
-            "\"mapper\" must be a non-empty registry spec string");
-    request.mapper_spec = frame.body.at("mapper").as_string();
-    if (frame.body.contains("class")) {
-      require(frame.body.at("class").is_string(),
-              "\"class\" must be a string");
-      request.priority_class = frame.body.at("class").as_string();
-    }
-    request.priority = priority_of_class(request.priority_class);
-    const bool has_graph = frame.body.contains("graph");
-    const bool has_generate = frame.body.contains("generate");
-    require(has_graph != has_generate,
-            "exactly one of \"graph\" (inline document) or \"generate\" "
-            "(server-side generation spec) is required");
-    if (has_graph) request.graph = object_field(frame.body, "graph");
-    if (has_generate) {
-      request.generate = object_field(frame.body, "generate");
-    }
-    if (frame.body.contains("platform")) {
-      request.platform = object_field(frame.body, "platform");
-    }
-    request.deadline_ms = number_field(frame.body, "deadline_ms", 0.0);
-    require(request.deadline_ms >= 0.0, "\"deadline_ms\" must be >= 0");
-    request.max_evaluations = count_field(frame.body, "max_evals", 0);
-    request.max_iterations = count_field(frame.body, "max_iters", 0);
-    request.seed = seed_field(frame.body, "seed");
-    request.construction_seed = seed_field(frame.body, "construction_seed");
-    request.reporting_orders =
-        count_field(frame.body, "reporting_orders", 0);
-    request.subscribe = bool_field(frame.body, "subscribe", false);
-    request.want_mapping = bool_field(frame.body, "return_mapping", false);
+    request = wire_submit_from_json(frame.body);
   } catch (const Error& ex) {
     return {error_line(WireErrorCode::kBadRequest, ex.what(),
                        std::move(echo))};

@@ -21,8 +21,11 @@
 ///             v                     v    v                        v done
 ///          kClosed <------------------------------------------ kClosed
 ///
-///  * kHandshake — only a valid `hello` advances; anything else answers
-///    with an error and closes.
+///  * kHandshake — a valid `hello` (or `resume`, which re-attaches the
+///    connection to a detached session and replays missed events)
+///    advances; an unknown resume token answers `unknown_session` and
+///    stays in kHandshake so the client can fall back to a fresh hello;
+///    anything else answers with an error and closes.
 ///  * kActive — verbs served; `frame_too_long` / `bad_utf8` / `bad_json`
 ///    answer and close (the stream can no longer be trusted), while
 ///    `unknown_op` / `bad_request` / `unknown_job` answer and keep the
@@ -89,6 +92,29 @@ struct SubmitOutcome {
   std::string message;             ///< when rejected
 };
 
+/// Serializes a validated submit to its wire body (mapper/class/graph/...,
+/// no op/tag) — the journal's "submitted" payload, re-parseable with
+/// `wire_submit_from_json` after a daemon restart.
+Json to_json(const WireSubmit& request);
+
+/// Parses/validates a submit body (a `submit` frame or a journaled
+/// `to_json` document; `op`/`tag` are tolerated and ignored). Throws
+/// spmap::Error with a client-ready message on schema violations.
+WireSubmit wire_submit_from_json(const Json& body);
+
+/// What the host answered a `resume` handshake with. On success the
+/// session adopts `session`/`token`, and `replay` holds the event lines
+/// (with `event_seq` numbers the client missed) to send right after the
+/// ok response — ordering stays inside the FSM, pure and testable.
+struct ResumeOutcome {
+  bool ok = false;
+  std::uint64_t session = 0;
+  std::string token;
+  std::vector<std::string> replay;
+  WireErrorCode code = WireErrorCode::kUnknownSession;  ///< when !ok
+  std::string message;                                  ///< when !ok
+};
+
 /// The daemon-side effects a session can trigger. All calls happen on the
 /// daemon's IO thread, synchronously under a frame.
 class SessionHost {
@@ -113,6 +139,24 @@ class SessionHost {
   virtual bool draining() const = 0;
   /// Extra fields for the hello response (server name, worker count...).
   virtual Json server_info() const { return Json::object(); }
+  /// Issues a resume token for a freshly-helloed session. An empty token
+  /// means the host does not support resumption (tests, minimal hosts):
+  /// the hello response then omits session/token.
+  virtual std::string register_session(std::uint64_t session) {
+    (void)session;
+    return {};
+  }
+  /// Re-attaches connection `conn` to the detached session owning
+  /// `token`, replaying events after `last_seq`. Default: unsupported.
+  virtual ResumeOutcome resume_session(std::uint64_t conn,
+                                       const std::string& token,
+                                       std::uint64_t last_seq) {
+    (void)conn;
+    (void)last_seq;
+    ResumeOutcome outcome;
+    outcome.message = "unknown session token \"" + token + "\"";
+    return outcome;
+  }
 };
 
 struct SessionConfig {
@@ -149,6 +193,7 @@ class Session {
 
  private:
   std::vector<std::string> handle_hello(const Frame& frame);
+  std::vector<std::string> handle_resume(const Frame& frame);
   std::vector<std::string> handle_submit(const Frame& frame);
   std::vector<std::string> handle_status(const Frame& frame);
   std::vector<std::string> handle_cancel(const Frame& frame);

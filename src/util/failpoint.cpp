@@ -1,0 +1,167 @@
+#include "util/failpoint.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace spmap {
+
+namespace {
+
+/// The fast-path gate: unarmed processes never take the registry mutex.
+std::atomic<bool> g_any_armed{false};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FailpointSpec> specs;
+  std::map<std::string, std::uint64_t> hit_counts;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  require(!text.empty(), "failpoint " + what + " is empty");
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0',
+          "failpoint " + what + " must be an integer, got \"" + text + "\"");
+  return value;
+}
+
+FailpointSpec parse_action(std::string action) {
+  FailpointSpec spec;
+  // Optional hit window suffix: @SKIP or @SKIP+COUNT.
+  const std::size_t at = action.find('@');
+  if (at != std::string::npos) {
+    std::string window = action.substr(at + 1);
+    action.resize(at);
+    const std::size_t plus = window.find('+');
+    if (plus != std::string::npos) {
+      spec.count = parse_u64(window.substr(plus + 1), "count");
+      window.resize(plus);
+    }
+    spec.skip = parse_u64(window, "skip");
+  }
+  if (action == "error") {
+    spec.action = FailpointSpec::Action::kError;
+  } else if (action == "crash") {
+    spec.action = FailpointSpec::Action::kCrash;
+  } else if (action.rfind("delay:", 0) == 0) {
+    spec.action = FailpointSpec::Action::kDelay;
+    const std::string ms = action.substr(6);
+    char* end = nullptr;
+    spec.delay_ms = std::strtod(ms.c_str(), &end);
+    require(end != nullptr && *end == '\0' && !ms.empty() &&
+                spec.delay_ms >= 0.0,
+            "failpoint delay must be delay:MILLIS, got \"" + action + "\"");
+  } else {
+    throw Error("failpoint action must be error, crash or delay:MILLIS, "
+                "got \"" + action + "\"");
+  }
+  return spec;
+}
+
+}  // namespace
+
+Failpoints& Failpoints::instance() {
+  static Failpoints fp;
+  return fp;
+}
+
+std::vector<std::pair<std::string, FailpointSpec>> Failpoints::parse(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, FailpointSpec>> entries;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+            "failpoint entries must be NAME=ACTION, got \"" + item + "\"");
+    entries.emplace_back(item.substr(0, eq),
+                         parse_action(item.substr(eq + 1)));
+  }
+  return entries;
+}
+
+void Failpoints::arm(const std::string& spec) {
+  const auto entries = parse(spec);
+  if (entries.empty()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, parsed] : entries) {
+    r.specs[name] = parsed;
+    r.hit_counts[name] = 0;
+  }
+  g_any_armed.store(true, std::memory_order_release);
+}
+
+void Failpoints::arm_from_env() {
+  const char* env = std::getenv("SPMAP_FAILPOINTS");
+  if (env != nullptr && *env != '\0') arm(env);
+}
+
+void Failpoints::clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.specs.clear();
+  r.hit_counts.clear();
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+bool Failpoints::armed() const {
+  return g_any_armed.load(std::memory_order_acquire);
+}
+
+std::uint64_t Failpoints::hits(const std::string& name) const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.hit_counts.find(name);
+  return it == r.hit_counts.end() ? 0 : it->second;
+}
+
+bool Failpoints::hit(const char* name) {
+  if (!armed()) return false;
+  FailpointSpec spec;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.specs.find(name);
+    if (it == r.specs.end()) return false;
+    const std::uint64_t index = r.hit_counts[name]++;
+    if (index < it->second.skip) return false;
+    if (index - it->second.skip >= it->second.count) return false;
+    spec = it->second;
+  }
+  // Act outside the registry lock: delays must not serialize other
+  // failpoints, and a crash holding a mutex would be a lie anyway.
+  switch (spec.action) {
+    case FailpointSpec::Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(spec.delay_ms));
+      return false;
+    case FailpointSpec::Action::kCrash:
+      // _exit, not abort(): no atexit handlers, no stream flushing, no
+      // core dump noise — the closest portable stand-in for SIGKILL.
+      ::_exit(kFailpointCrashExit);
+    case FailpointSpec::Action::kError:
+      return true;
+  }
+  return false;
+}
+
+bool failpoint(const char* name) { return Failpoints::instance().hit(name); }
+
+}  // namespace spmap

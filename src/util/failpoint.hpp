@@ -1,0 +1,100 @@
+#pragma once
+/// \file failpoint.hpp
+/// Named fault-injection points for robustness testing.
+///
+/// A failpoint is a named hook compiled into a production code path
+/// (daemon IO loop, journal writes, worker completion) that does nothing
+/// until *armed*. Arming happens at process start from the
+/// `SPMAP_FAILPOINTS` environment variable or a `--failpoints` flag, with
+/// the grammar
+///
+///     SPEC    := ENTRY (',' ENTRY)*
+///     ENTRY   := NAME '=' ACTION ['@' SKIP ['+' COUNT]]
+///     ACTION  := 'error' | 'crash' | 'delay:' MILLIS
+///
+/// e.g. `journal.append=error@2+1` makes the *third* hit of the
+/// `journal.append` failpoint fail (skip 2, fire 1), and
+/// `daemon.terminal=crash` kills the process (`_exit`, no cleanup — the
+/// closest portable stand-in for SIGKILL) on the first terminal-event
+/// write. `delay:50` sleeps 50 ms on every hit, for shaking out timeouts
+/// and races.
+///
+/// Call sites use the free helpers:
+///
+///     if (failpoint("journal.append")) throw Error("injected failure");
+///
+/// `failpoint()` evaluates the hook: it sleeps through a `delay` action,
+/// `_exit(86)`s on `crash`, and returns true when an `error` action fired
+/// (the caller decides what "failing" means locally). Unarmed processes
+/// pay one relaxed atomic load per hit — effectively free.
+///
+/// ## Thread-safety
+///
+/// Arming and hitting are fully thread-safe (one registry mutex on the
+/// armed path; workers and the IO thread hit concurrently).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spmap {
+
+/// Exit code of a `crash` action — distinguishable from every exit code
+/// of the CLI contract (tools/exit_codes.hpp) and from clean SIGKILL, so
+/// supervisors can tell injected crashes apart.
+inline constexpr int kFailpointCrashExit = 86;
+
+/// One armed failpoint: what to do, and in which hit window.
+struct FailpointSpec {
+  enum class Action { kError, kCrash, kDelay };
+  Action action = Action::kError;
+  double delay_ms = 0.0;      ///< kDelay: sleep per firing hit
+  std::uint64_t skip = 0;     ///< hits ignored before the first firing
+  std::uint64_t count = ~0ULL;  ///< firing hits before disarming
+};
+
+/// The process-wide registry of armed failpoints.
+class Failpoints {
+ public:
+  static Failpoints& instance();
+
+  /// Parses and installs a spec string (additive; later entries replace
+  /// earlier ones of the same name). Throws spmap::Error on bad grammar.
+  void arm(const std::string& spec);
+
+  /// Arms from `SPMAP_FAILPOINTS` when the variable is set and non-empty.
+  void arm_from_env();
+
+  /// Disarms everything (tests).
+  void clear();
+
+  /// Evaluates one hit of `name`: sleeps/crashes per the armed action and
+  /// returns true iff an `error` action fired. False when unarmed.
+  bool hit(const char* name);
+
+  /// Hits seen by `name` since arming (0 when unarmed) — test visibility.
+  std::uint64_t hits(const std::string& name) const;
+
+  /// True when any failpoint is armed (the fast-path gate).
+  bool armed() const;
+
+  /// Parses one spec string without installing it (exposed for tests).
+  static std::vector<std::pair<std::string, FailpointSpec>> parse(
+      const std::string& spec);
+
+ private:
+  Failpoints() = default;
+  struct Armed {
+    FailpointSpec spec;
+    std::uint64_t hits = 0;
+  };
+  // Pimpl-free: the mutex lives in the .cpp as a function-local static
+  // together with the map, keeping this header dependency-light.
+};
+
+/// Evaluates the named failpoint (see the file comment). Returns true
+/// when the caller should fail.
+bool failpoint(const char* name);
+
+}  // namespace spmap

@@ -5,15 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
+#include "serve/journal.hpp"
 #include "util/error.hpp"
 
 namespace spmap {
@@ -269,6 +273,213 @@ TEST(ServeDaemon, BindRefusesATakenUnixEndpoint) {
   DaemonFixture fixture({.workers = 1});
   Daemon second({.endpoint = fixture.daemon->endpoint()});
   EXPECT_THROW(second.bind(), Error);
+}
+
+TEST(ServeDaemon, BindReclaimsAStaleUnixSocket) {
+  // A crashed daemon leaves its socket file behind with nobody listening.
+  // Startup must probe, find it dead, unlink and bind — not refuse.
+  const Endpoint endpoint =
+      Endpoint::parse(DaemonFixture::unique_socket_path());
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                  endpoint.path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    ::close(fd);  // no unlink: the stale file stays
+  }
+  DaemonFixture fixture({.endpoint = endpoint, .workers = 1});
+  WireClient client(fixture.daemon->endpoint());
+  client.send(submit_frame());
+  const auto ok = client.recv(10000.0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->at("ok").as_bool());
+}
+
+TEST(ServeDaemon, ResumeReplaysEventsMissedWhileDetached) {
+  DaemonFixture fixture({.workers = 1});
+  WireClient client(fixture.daemon->endpoint());
+  ASSERT_NE(client.session(), 0u);
+  ASSERT_FALSE(client.session_token().empty());
+
+  Json frame = submit_frame();
+  frame.set("subscribe", Json(true));
+  client.send(frame);
+  const auto accepted = client.recv(10000.0);
+  ASSERT_TRUE(accepted.has_value() && accepted->at("ok").as_bool());
+  const auto job = static_cast<std::uint64_t>(accepted->at("job").as_int());
+
+  // Vanish before the job finishes; let it complete while detached.
+  client.drop_connection();
+  for (int i = 0; i < 600; ++i) {
+    const ServiceStats stats = fixture.daemon->service_stats();
+    if (stats.done + stats.failed + stats.cancelled >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Resume: the done event fired into the detached session's backlog and
+  // must be replayed now, exactly once.
+  ASSERT_TRUE(client.reconnect(/*try_resume=*/true));
+  const auto done = client.recv_event("done", 10000.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(done->at("job").as_int()), job);
+  EXPECT_EQ(done->at("state").as_string(), "done");
+  EXPECT_GT(done->at("event_seq").as_int(), 0);
+
+  // Nothing is replayed twice: no second done for the same job.
+  const auto extra = client.recv_event("done", 300.0);
+  EXPECT_FALSE(extra.has_value());
+}
+
+TEST(ServeDaemon, ResumePastTheWindowFallsBackToHello) {
+  // resume_window_s = 0: a detached session is dropped at the very next
+  // housekeeping sweep, so the resume must be refused — and the protocol
+  // fallback (fresh hello on the same connection) must leave the client
+  // fully usable.
+  DaemonOptions options;
+  options.workers = 1;
+  options.resume_window_s = 0.0;
+  DaemonFixture fixture(std::move(options));
+  WireClient client(fixture.daemon->endpoint());
+  ASSERT_FALSE(client.session_token().empty());
+  const std::uint64_t old_session = client.session();
+
+  client.drop_connection();
+  // The daemon reaps the dead connection and (window 0) expires the
+  // session at its next sweep; sweeps are spaced >= 1s apart.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2200));
+
+  EXPECT_FALSE(client.reconnect(/*try_resume=*/true));
+  EXPECT_NE(client.session(), old_session);
+  client.send(submit_frame());
+  const auto ok = client.recv(10000.0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->at("ok").as_bool());
+}
+
+/// A hand-crafted journal: job 1 finished before the "crash", job 2 was
+/// acknowledged but never ran. The restarted daemon must answer status
+/// for job 1 verbatim and re-enqueue job 2 to completion.
+TEST(ServeDaemon, JournalRecoveryAnswersTerminalAndRequeuesUnfinished) {
+  const std::string journal_path =
+      "/tmp/spmap_daemon_test_journal_" + std::to_string(::getpid()) +
+      "_recovery.journal";
+  std::remove(journal_path.c_str());
+  {
+    Json submit1 = Json::object();
+    submit1.set("mapper", Json("spff"));
+    submit1.set("class", Json("normal"));
+    Json status1 = Json::object();
+    status1.set("job", Json(std::uint64_t{1}));
+    status1.set("class", Json("normal"));
+    status1.set("state", Json("done"));
+    status1.set("makespan", Json(42.5));
+
+    Json generate = Json::object();
+    generate.set("type", Json("sp"));
+    generate.set("tasks", Json(std::size_t{12}));
+    generate.set("seed", Json(std::uint64_t{7}));
+    Json submit2 = Json::object();
+    submit2.set("mapper", Json("spff"));
+    submit2.set("class", Json("high"));
+    submit2.set("generate", std::move(generate));
+    submit2.set("seed", Json(std::uint64_t{3}));
+    submit2.set("construction_seed", Json(std::uint64_t{4}));
+
+    Journal journal(journal_path);
+    journal.append(Json(Json::Object{{"type", Json("submitted")},
+                                     {"job", Json(std::uint64_t{1})},
+                                     {"submit", std::move(submit1)}}),
+                   true);
+    journal.append(Json(Json::Object{{"type", Json("terminal")},
+                                     {"job", Json(std::uint64_t{1})},
+                                     {"status", std::move(status1)}}),
+                   true);
+    journal.append(Json(Json::Object{{"type", Json("submitted")},
+                                     {"job", Json(std::uint64_t{2})},
+                                     {"submit", std::move(submit2)}}),
+                   true);
+  }
+
+  DaemonFixture fixture(
+      {.workers = 1, .journal_path = journal_path});
+  WireClient client(fixture.daemon->endpoint());
+
+  // Job 1: the recorded terminal status, verbatim, under its old id.
+  client.send(Json(Json::Object{{"op", Json("status")},
+                                {"job", Json(std::uint64_t{1})}}));
+  const auto status = client.recv(10000.0);
+  ASSERT_TRUE(status.has_value());
+  ASSERT_TRUE(status->at("ok").as_bool()) << status->dump();
+  EXPECT_EQ(status->at("state").as_string(), "done");
+  EXPECT_DOUBLE_EQ(status->at("makespan").as_double(), 42.5);
+
+  // Job 2: re-enqueued under its old id; subscribe and watch it finish.
+  client.send(Json(Json::Object{{"op", Json("subscribe")},
+                                {"job", Json(std::uint64_t{2})}}));
+  const auto ok = client.recv(10000.0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->at("ok").as_bool()) << ok->dump();
+  const auto done = client.recv_event("done", 30000.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->at("job").as_int(), 2);
+  EXPECT_EQ(done->at("state").as_string(), "done");
+
+  // New submissions never collide with recovered ids.
+  client.send(submit_frame());
+  const auto accepted = client.recv(10000.0);
+  ASSERT_TRUE(accepted.has_value() && accepted->at("ok").as_bool());
+  EXPECT_GE(accepted->at("job").as_int(), 3);
+
+  std::remove(journal_path.c_str());
+}
+
+/// End to end: run a pinned job against a journaled daemon, kill the
+/// daemon (hard drain), start a second daemon on the same journal — the
+/// result must still be answerable and bit-identical.
+TEST(ServeDaemon, RestartOnTheSameJournalKeepsTerminalResults) {
+  const std::string journal_path =
+      "/tmp/spmap_daemon_test_journal_" + std::to_string(::getpid()) +
+      "_restart.journal";
+  std::remove(journal_path.c_str());
+
+  std::uint64_t job = 0;
+  double makespan = 0.0;
+  Endpoint endpoint;
+  {
+    DaemonFixture fixture(
+        {.workers = 1, .journal_path = journal_path});
+    endpoint = fixture.daemon->endpoint();
+    WireClient client(endpoint);
+    Json frame = submit_frame(12, /*seed=*/99);
+    frame.set("seed", Json(std::uint64_t{5}));
+    frame.set("construction_seed", Json(std::uint64_t{6}));
+    frame.set("subscribe", Json(true));
+    client.send(frame);
+    const auto accepted = client.recv(10000.0);
+    ASSERT_TRUE(accepted.has_value() && accepted->at("ok").as_bool());
+    job = static_cast<std::uint64_t>(accepted->at("job").as_int());
+    const auto done = client.recv_event("done", 30000.0);
+    ASSERT_TRUE(done.has_value());
+    ASSERT_EQ(done->at("state").as_string(), "done");
+    makespan = done->at("makespan").as_double();
+  }  // fixture destructor: drain + exit — the "restart"
+
+  DaemonFixture second(
+      {.endpoint = endpoint, .workers = 1, .journal_path = journal_path});
+  WireClient client(second.daemon->endpoint());
+  client.send(
+      Json(Json::Object{{"op", Json("status")}, {"job", Json(job)}}));
+  const auto status = client.recv(10000.0);
+  ASSERT_TRUE(status.has_value());
+  ASSERT_TRUE(status->at("ok").as_bool()) << status->dump();
+  EXPECT_EQ(status->at("state").as_string(), "done");
+  EXPECT_DOUBLE_EQ(status->at("makespan").as_double(), makespan);
+
+  std::remove(journal_path.c_str());
 }
 
 }  // namespace

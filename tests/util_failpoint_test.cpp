@@ -1,0 +1,110 @@
+/// Tests of the fault-injection registry (util/failpoint.hpp): spec
+/// grammar, hit windows (@SKIP+COUNT), the three actions, env arming,
+/// and the crash action observed from a forked child.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/timer.hpp"
+
+namespace spmap {
+namespace {
+
+/// Every test leaves the registry clean (it is process-global).
+class UtilFailpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::instance().clear(); }
+  void TearDown() override { Failpoints::instance().clear(); }
+};
+
+TEST_F(UtilFailpoint, UnarmedHitsAreFreeAndFalse) {
+  EXPECT_FALSE(Failpoints::instance().armed());
+  EXPECT_FALSE(failpoint("journal.append"));
+  EXPECT_EQ(Failpoints::instance().hits("journal.append"), 0u);
+}
+
+TEST_F(UtilFailpoint, ParseAcceptsTheDocumentedGrammar) {
+  const auto specs = Failpoints::parse(
+      "journal.append=error,daemon.terminal=crash@3,"
+      "daemon.flush=delay:25@1+2");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].first, "journal.append");
+  EXPECT_EQ(specs[0].second.action, FailpointSpec::Action::kError);
+  EXPECT_EQ(specs[0].second.skip, 0u);
+  EXPECT_EQ(specs[1].first, "daemon.terminal");
+  EXPECT_EQ(specs[1].second.action, FailpointSpec::Action::kCrash);
+  EXPECT_EQ(specs[1].second.skip, 3u);
+  EXPECT_EQ(specs[2].first, "daemon.flush");
+  EXPECT_EQ(specs[2].second.action, FailpointSpec::Action::kDelay);
+  EXPECT_DOUBLE_EQ(specs[2].second.delay_ms, 25.0);
+  EXPECT_EQ(specs[2].second.skip, 1u);
+  EXPECT_EQ(specs[2].second.count, 2u);
+}
+
+TEST_F(UtilFailpoint, ParseRejectsBadGrammar) {
+  EXPECT_THROW(Failpoints::parse("noequals"), Error);
+  EXPECT_THROW(Failpoints::parse("x=explode"), Error);
+  EXPECT_THROW(Failpoints::parse("x=delay:abc"), Error);
+  EXPECT_THROW(Failpoints::parse("x=error@"), Error);
+  EXPECT_THROW(Failpoints::parse("=error"), Error);
+}
+
+TEST_F(UtilFailpoint, ErrorActionFiresInItsWindowOnly) {
+  // Skip 2 hits, fire 1, then disarm: only the third hit fails.
+  Failpoints::instance().arm("p=error@2+1");
+  EXPECT_TRUE(Failpoints::instance().armed());
+  EXPECT_FALSE(failpoint("p"));
+  EXPECT_FALSE(failpoint("p"));
+  EXPECT_TRUE(failpoint("p"));
+  EXPECT_FALSE(failpoint("p"));
+  EXPECT_EQ(Failpoints::instance().hits("p"), 4u);
+  // Other names are unaffected.
+  EXPECT_FALSE(failpoint("q"));
+}
+
+TEST_F(UtilFailpoint, DelayActionSleepsAndReturnsFalse) {
+  Failpoints::instance().arm("slow=delay:30");
+  const WallTimer timer;
+  EXPECT_FALSE(failpoint("slow"));
+  EXPECT_GE(timer.millis(), 25.0);
+}
+
+TEST_F(UtilFailpoint, LaterEntriesReplaceEarlierOnesAndClearDisarms) {
+  Failpoints::instance().arm("p=error");
+  Failpoints::instance().arm("p=error@100");  // replaced: now skips 100
+  EXPECT_FALSE(failpoint("p"));
+  Failpoints::instance().clear();
+  EXPECT_FALSE(Failpoints::instance().armed());
+}
+
+TEST_F(UtilFailpoint, ArmFromEnvReadsTheVariable) {
+  ::setenv("SPMAP_FAILPOINTS", "env.point=error", 1);
+  Failpoints::instance().arm_from_env();
+  ::unsetenv("SPMAP_FAILPOINTS");
+  EXPECT_TRUE(failpoint("env.point"));
+}
+
+TEST_F(UtilFailpoint, CrashActionExitsWithTheFailpointCode) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm and hit a crash point — must never return.
+    Failpoints::instance().arm("boom=crash");
+    failpoint("boom");
+    ::_exit(0);  // reached only if the crash action is broken
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), kFailpointCrashExit);
+}
+
+}  // namespace
+}  // namespace spmap

@@ -66,6 +66,7 @@
 #include "sched/schedule.hpp"
 #include "sp/decomposition_forest.hpp"
 #include "sp/subgraph_set.hpp"
+#include "util/failpoint.hpp"
 #include "util/flags.hpp"
 #include "util/fs.hpp"
 #include "util/table.hpp"
@@ -135,7 +136,9 @@ int usage() {
                "through the MappingService job layer)\n"
                "  daemon       --listen unix:PATH|tcp:HOST:PORT "
                "[--workers N] [--max-queued N] [--idle-timeout-s S] "
-               "[--grace-ms MS] [--seed S] [--quiet]   (spmap-wire/1 "
+               "[--grace-ms MS] [--seed S] [--journal FILE] "
+               "[--retention N] [--resume-window-s S] "
+               "[--failpoints SPEC] [--quiet]   (spmap-wire/1 "
                "serving daemon; see docs/SERVING.md)\n"
                "  list-mappers [--verbose] [--markdown]   (all registered "
                "algorithm names, descriptions, default parameters)\n");
@@ -432,7 +435,8 @@ int cmd_evaluate(int argc, char** argv) {
 int cmd_daemon(int argc, char** argv) {
   const Flags flags(argc, argv,
                     {"listen", "workers", "max-queued", "idle-timeout-s",
-                     "grace-ms", "seed", "quiet"});
+                     "grace-ms", "seed", "journal", "retention",
+                     "resume-window-s", "failpoints", "quiet"});
   const std::string listen = flags.get("listen", "");
   require(!listen.empty(),
           "daemon: --listen ENDPOINT is required (unix:PATH or "
@@ -452,6 +456,22 @@ int cmd_daemon(int argc, char** argv) {
   require(options.grace_ms >= 0.0, "daemon: --grace-ms must be >= 0");
   if (flags.has("seed")) {
     options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  }
+  options.journal_path = flags.get("journal", "");
+  const std::int64_t retention =
+      flags.get_int("retention", static_cast<std::int64_t>(
+                                     options.completed_retention));
+  require(retention >= 1, "daemon: --retention must be >= 1");
+  options.completed_retention = static_cast<std::size_t>(retention);
+  options.resume_window_s =
+      flags.get_double("resume-window-s", options.resume_window_s);
+  require(options.resume_window_s >= 0.0,
+          "daemon: --resume-window-s must be >= 0");
+  // Fault injection: the flag takes precedence; the environment is read
+  // either way so CI can arm failpoints without touching the invocation.
+  Failpoints::instance().arm_from_env();
+  if (flags.has("failpoints")) {
+    Failpoints::instance().arm(flags.get("failpoints", ""));
   }
   options.install_signal_handlers = true;
   options.log = flags.get_bool("quiet", false) ? nullptr : stderr;

@@ -32,6 +32,14 @@
 ///   --reporting-orders N   server-side reporting evaluator orders
 ///   --seed S           deterministic request stream seed
 ///   --verify           local bit-identity re-execution
+///   --connect-retries N   extra connect attempts with backoff
+///   --backoff-ms MS    first backoff delay between connect attempts
+///   --chaos            closed loop only: deterministically drop the
+///                      connection around submit/await points and recover
+///                      via resume or re-hello + status polling; the run
+///                      fails unless every acknowledged submit is recorded
+///                      terminal exactly once (lost=0, duplicated=0)
+///   --chaos-drop-rate P   injected drop probability per opportunity
 ///   --json FILE        write the spmap-loadgen-report/1 document
 ///   --quiet            no human-readable summary on stdout
 ///
@@ -60,8 +68,9 @@ int usage() {
                "[--sessions N] [--requests N] [--open-loop] [--rate-hz R] "
                "[--duration-s S] [--mix high=1,normal=2,low=1] "
                "[--mapper SPEC] [--tasks N] [--max-evals N] "
-               "[--reporting-orders N] [--seed S] [--verify] [--json FILE] "
-               "[--quiet]\n");
+               "[--reporting-orders N] [--seed S] [--verify] "
+               "[--connect-retries N] [--backoff-ms MS] [--chaos] "
+               "[--chaos-drop-rate P] [--json FILE] [--quiet]\n");
   return kExitUsage;
 }
 
@@ -86,6 +95,13 @@ void print_summary(const LoadgenOptions& options,
     std::printf("verified=%zu mismatches=%zu\n", report.verified,
                 report.mismatches);
   }
+  if (options.chaos) {
+    std::printf(
+        "chaos: drops=%zu resumes=%zu rehellos=%zu lost=%zu "
+        "duplicated=%zu\n",
+        report.drops, report.resumes, report.rehellos, report.lost,
+        report.duplicated);
+  }
 }
 
 }  // namespace
@@ -96,7 +112,8 @@ int main(int argc, char** argv) {
                       {"endpoint", "sessions", "requests", "open-loop",
                        "rate-hz", "duration-s", "mix", "mapper", "tasks",
                        "max-evals", "reporting-orders", "seed", "verify",
-                       "json", "quiet"});
+                       "connect-retries", "backoff-ms", "chaos",
+                       "chaos-drop-rate", "json", "quiet"});
     const std::string endpoint = flags.get("endpoint", "");
     if (endpoint.empty()) return usage();
 
@@ -126,6 +143,17 @@ int main(int argc, char** argv) {
     options.reporting_orders = static_cast<std::size_t>(orders);
     options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     options.verify = flags.get_bool("verify", false);
+    const std::int64_t retries = flags.get_int("connect-retries", 0);
+    require(retries >= 0, "loadgen: --connect-retries must be >= 0");
+    options.connect_retries = static_cast<std::size_t>(retries);
+    options.backoff_ms = flags.get_double("backoff-ms", 50.0);
+    require(options.backoff_ms > 0.0, "loadgen: --backoff-ms must be > 0");
+    options.chaos = flags.get_bool("chaos", false);
+    require(!options.chaos || !options.open_loop,
+            "loadgen: --chaos requires the closed loop");
+    options.chaos_drop_rate = flags.get_double("chaos-drop-rate", 0.15);
+    require(options.chaos_drop_rate >= 0.0 && options.chaos_drop_rate < 1.0,
+            "loadgen: --chaos-drop-rate must be in [0, 1)");
 
     const LoadgenReport report = run_loadgen(options);
 
@@ -146,6 +174,13 @@ int main(int argc, char** argv) {
                    "spmap_loadgen: run failed (failed=%zu mismatches=%zu "
                    "completed=%zu)\n",
                    report.failed, report.mismatches, report.completed);
+      return kExitFailure;
+    }
+    if (report.lost > 0 || report.duplicated > 0) {
+      std::fprintf(stderr,
+                   "spmap_loadgen: chaos accounting broken (lost=%zu "
+                   "duplicated=%zu)\n",
+                   report.lost, report.duplicated);
       return kExitFailure;
     }
     return kExitOk;
