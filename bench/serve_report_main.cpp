@@ -14,6 +14,11 @@
 ///   open loop, tiny queue            — overload: offered load far above
 ///     capacity against max_queued=4; measures the structured-rejection
 ///     path (shed low/normal traffic, p99 of what completed)
+///   warm_cache_repeat                — result cache: one warm-up pass
+///     populates the daemon's memo with K distinct identities, then a
+///     repeat phase folds many requests onto the same K (`--distinct`);
+///     reports the hit rate with bit-identity verification still on
+///     (cached answers must equal recomputation exactly)
 ///
 /// Flags:
 ///   --out=PATH    output file (default BENCH_serve.json)
@@ -37,7 +42,10 @@
 ///                             "mean_ms": ...}, ...}},
 ///       {"name": "open_loop_overload", "sessions": S, "rate_hz": ...,
 ///        "duration_s": ..., "max_queued": 4, ...same fields...,
-///        "rejected": N}           // > 0: the shed path was exercised
+///        "rejected": N},          // > 0: the shed path was exercised
+///       {"name": "warm_cache_repeat", "distinct": K, ...same fields...,
+///        "cache_hits": ..., "cache_warm": ..., "cache_misses": ...,
+///        "cache_none": ..., "cache_hit_rate": ...}
 ///     ]
 ///   }
 
@@ -114,6 +122,18 @@ void report_run(Json& results, const char* name, const LoadgenOptions& options,
     row.set("verified", report.verified);
     row.set("mismatches", report.mismatches);
   }
+  if (options.distinct > 0) {
+    row.set("distinct", options.distinct);
+    row.set("cache_hits", report.cache_hits);
+    row.set("cache_warm", report.cache_warm);
+    row.set("cache_misses", report.cache_misses);
+    row.set("cache_none", report.cache_none);
+    row.set("cache_hit_rate",
+            report.completed > 0
+                ? static_cast<double>(report.cache_hits) /
+                      static_cast<double>(report.completed)
+                : 0.0);
+  }
   Json classes = Json::object();
   for (const auto& [cls, stats] : report.classes) {
     Json entry = Json::object();
@@ -187,6 +207,51 @@ int main(int argc, char** argv) {
     report_run(results, "open_loop_overload", options, report, max_queued);
     if (report.failed > 0) {
       std::fprintf(stderr, "FATAL: open loop failed=%zu\n", report.failed);
+      return 1;
+    }
+  }
+
+  // ---- warm cache: repeated identities answered from the result memo ----
+  {
+    const std::size_t distinct = 8;
+    LocalDaemon daemon(workers, /*max_queued=*/256);
+    // Warm-up: one session, exactly K requests, one per identity — every
+    // one a miss that populates the memo.
+    LoadgenOptions warmup;
+    warmup.endpoint = daemon.endpoint();
+    warmup.sessions = 1;
+    warmup.requests = distinct;
+    warmup.tasks = 24;
+    warmup.max_evaluations = 2000;
+    warmup.seed = seed + 2;
+    warmup.distinct = distinct;
+    const LoadgenReport warmed = run_loadgen(warmup);
+    if (warmed.failed > 0) {
+      std::fprintf(stderr, "FATAL: cache warm-up failed=%zu\n", warmed.failed);
+      return 1;
+    }
+    // Repeat phase: many sessions folding onto the same K identities; the
+    // memo answers the repeats, and verify proves cached == recomputed.
+    LoadgenOptions options;
+    options.endpoint = daemon.endpoint();
+    options.sessions = smoke ? 4 : 8;
+    options.requests = smoke ? 4 * distinct : 16 * distinct;
+    options.mix = "high=1,normal=2,low=1";
+    options.tasks = 24;
+    options.max_evaluations = 2000;
+    options.seed = seed + 2;  // same stream as the warm-up
+    options.distinct = distinct;
+    options.verify = true;
+    const LoadgenReport report = run_loadgen(options);
+    report_run(results, "warm_cache_repeat", options, report, 256);
+    if (report.failed > 0 || report.mismatches > 0) {
+      std::fprintf(stderr,
+                   "FATAL: warm cache repeat failed=%zu mismatches=%zu\n",
+                   report.failed, report.mismatches);
+      return 1;
+    }
+    if (report.cache_hits == 0) {
+      std::fprintf(stderr, "FATAL: warm cache repeat saw no cache hits\n");
       return 1;
     }
   }

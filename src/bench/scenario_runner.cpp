@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "serve/mapping_service.hpp"
+#include "serve/result_cache.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -127,7 +128,14 @@ Json point_to_json(const Scenario& scenario,
 
 Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
   require(!scenario.mappers.empty(), "run_scenario: no mappers");
-  MappingService service({.workers = options.threads});
+  std::shared_ptr<ResultCache> cache;
+  if (options.cache_entries > 0) {
+    ResultCacheOptions cache_options;
+    cache_options.max_entries = options.cache_entries;
+    if (options.cache_bytes > 0) cache_options.max_bytes = options.cache_bytes;
+    cache = std::make_shared<ResultCache>(cache_options);
+  }
+  MappingService service({.workers = options.threads, .cache = cache});
   const auto platform =
       std::make_shared<const Platform>(scenario.platform.platform);
   Rng rng(scenario.seed);
@@ -199,6 +207,21 @@ Json run_scenario(const Scenario& scenario, const SweepRunOptions& options) {
   doc.set("threads", service.worker_count());
   if (scenario.sweep.enabled()) {
     doc.set("sweep_parameter", scenario.sweep.parameter);
+  }
+  if (cache) {
+    // Flat keys, all starting with "cache", so a byte-diff against a
+    // cache-off run only needs to strip `"cache` lines (CI does exactly
+    // that) — never a nested object.
+    const ServiceStats service_stats = service.stats();
+    const ResultCacheStats cache_stats = cache->stats();
+    doc.set("cache_entries_limit", options.cache_entries);
+    doc.set("cache_hits", service_stats.cache_hits);
+    doc.set("cache_misses", service_stats.cache_misses);
+    doc.set("cache_warm", service_stats.cache_warm);
+    doc.set("cache_inserts", cache_stats.inserts);
+    doc.set("cache_evictions", cache_stats.evictions);
+    doc.set("cache_resident_entries", cache_stats.entries);
+    doc.set("cache_resident_bytes", cache_stats.bytes);
   }
   doc.set("results", std::move(results));
   return doc;

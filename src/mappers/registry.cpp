@@ -274,6 +274,15 @@ std::pair<std::string, std::string> MapperRegistry::split_spec(
   return {spec.substr(0, colon), spec.substr(colon + 1)};
 }
 
+std::string MapperRegistry::canonical_spec(const std::string& spec) const {
+  const auto [name, option_spec] = split_spec(spec);
+  const MapperEntry& entry = at(name);
+  const MapperOptions options = MapperOptions::parse(option_spec);
+  entry.validate_options(options);
+  if (options.empty()) return entry.name;
+  return entry.name + ":" + options.to_string();
+}
+
 std::unique_ptr<Mapper> MapperRegistry::create(const std::string& spec,
                                                const Dag& dag,
                                                Rng& rng) const {

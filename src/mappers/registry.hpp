@@ -163,6 +163,14 @@ class MapperRegistry {
   static std::pair<std::string, std::string> split_spec(
       const std::string& spec);
 
+  /// Canonical form of a spec: the resolved name plus its options
+  /// re-serialized in sorted key order ("anneal:iters=500,seed=7").
+  /// Validates exactly like create() (unknown names/keys/values throw)
+  /// without constructing the mapper. Two specs with equal canonical form
+  /// construct behaviorally identical mappers given equal construction
+  /// rng state — the identity the result cache keys on.
+  std::string canonical_spec(const std::string& spec) const;
+
  private:
   MapperRegistry() = default;
 

@@ -14,6 +14,16 @@ const char* to_string(TerminationReason reason) {
   return "unknown";
 }
 
+const char* to_string(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kNone: return "none";
+    case CacheOutcome::kMiss: return "miss";
+    case CacheOutcome::kHit: return "hit";
+    case CacheOutcome::kWarm: return "warm";
+  }
+  return "unknown";
+}
+
 MapRequest merge_run_bounds(const MapRequest& baked, MapRequest request) {
   const auto tighter = [](std::size_t a, std::size_t b) {
     if (a == 0) return b;

@@ -68,6 +68,22 @@ enum class TerminationReason {
 /// Stable lower-case label ("converged", "budget_exhausted", ...).
 const char* to_string(TerminationReason reason);
 
+/// How the result cache participated in producing a report (stamped by
+/// the MappingService; a direct Mapper::map call is always kNone).
+enum class CacheOutcome {
+  kNone,  ///< No cache consulted (cache off, or the job was uncacheable:
+          ///< unpinned construction rng, or a wall-clock deadline).
+  kMiss,  ///< Cache consulted, no entry: the job executed normally.
+  kHit,   ///< Served from the memo without occupying a worker. Every
+          ///< other field is bit-identical to recomputation (wall-clock
+          ///< fields report the *original* run).
+  kWarm,  ///< Executed, but a cached incumbent for the same problem was
+          ///< offered as the warm-start seed (opt-in; see MapRequest).
+};
+
+/// Stable lower-case label ("none", "miss", "hit", "warm").
+const char* to_string(CacheOutcome outcome);
+
 /// Cooperative cancellation flag, shared between a run and its observers.
 /// Copies alias the same flag; cancellation is sticky (no reset).
 /// `child()` derives a token that also observes this one — cancelling the
@@ -145,6 +161,16 @@ struct MapRequest {
   /// mappers may replay the winning trajectory at the end of the run
   /// instead of interleaving callbacks (see each mapper's contract).
   std::function<void(const IncumbentRecord&)> on_incumbent;
+  /// Optional warm-start seed: a known-good mapping for the same
+  /// (graph, platform). The local-search family uses it as the search
+  /// seed *instead of* running its init= mapper (the seed still wins
+  /// ties, so the run never reports worse than this mapping as evaluated
+  /// by the run's own evaluator); other mappers ignore it. Deliberately
+  /// opt-in everywhere: a warm seed changes results relative to a cold
+  /// run, so determinism-sensitive drivers (scenario sweeps, the cache's
+  /// bit-identity contract) never set it. Ignored if not sized for the
+  /// graph. The mapping must stay alive and unchanged for the whole run.
+  std::shared_ptr<const Mapping> warm_start;
 
   bool has_budget() const { return max_evaluations || max_iterations; }
 };
@@ -165,6 +191,9 @@ struct MapReport {
   /// Wall-clock duration of the run (excluded from determinism).
   double wall_seconds = 0.0;
   TerminationReason termination = TerminationReason::kConverged;
+  /// How the result cache participated (service-level field: mappers
+  /// never set it; the MappingService stamps it on the way out).
+  CacheOutcome cache = CacheOutcome::kNone;
   /// Best-makespan improvements in run order (first entry: the first
   /// incumbent; last entry: the returned mapping's makespan).
   std::vector<IncumbentRecord> trajectory;

@@ -1,5 +1,7 @@
 #include "serve/daemon.hpp"
 
+#include "serve/result_cache.hpp"
+
 #include <cerrno>
 #include <csignal>
 #include <cstdarg>
@@ -81,11 +83,18 @@ std::size_t generate_count(const Json& spec, const char* key,
 }  // namespace
 
 Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  if (options_.cache_entries > 0) {
+    ResultCacheOptions cache_options;
+    cache_options.max_entries = options_.cache_entries;
+    cache_options.max_bytes = options_.cache_bytes;
+    cache_ = std::make_shared<ResultCache>(cache_options);
+  }
   MappingServiceOptions service_options;
   service_options.workers = options_.workers;
   service_options.seed = options_.seed;
   service_options.max_queued = options_.max_queued;
   service_options.when_full = QueueFullPolicy::kReject;
+  service_options.cache = cache_;
   service_ = std::make_unique<MappingService>(service_options);
 
   int pipe_fds[2];
@@ -150,7 +159,31 @@ Json Daemon::server_info() const {
   info.set("workers", Json(service_->worker_count()));
   info.set("max_queued", Json(options_.max_queued));
   info.set("resume_window_s", Json(options_.resume_window_s));
+  info.set("cache_entries", Json(options_.cache_entries));
   return info;
+}
+
+Json Daemon::stats_body() const {
+  const ServiceStats stats = service_->stats();
+  Json body = Json::object();
+  body.set("submitted", Json(stats.submitted));
+  body.set("rejected", Json(stats.rejected));
+  body.set("queued", Json(stats.queued));
+  body.set("running", Json(stats.running));
+  body.set("done", Json(stats.done));
+  body.set("failed", Json(stats.failed));
+  body.set("cancelled", Json(stats.cancelled));
+  body.set("cache_hits", Json(stats.cache_hits));
+  body.set("cache_misses", Json(stats.cache_misses));
+  body.set("cache_warm", Json(stats.cache_warm));
+  if (cache_ != nullptr) {
+    const ResultCacheStats cache = cache_->stats();
+    body.set("cache_resident_entries", Json(cache.entries));
+    body.set("cache_resident_bytes", Json(cache.bytes));
+    body.set("cache_inserts", Json(cache.inserts));
+    body.set("cache_evictions", Json(cache.evictions));
+  }
+  return body;
 }
 
 std::string Daemon::register_session(std::uint64_t session) {
@@ -438,13 +471,15 @@ SubmitOutcome Daemon::submit(std::uint64_t session,
   job.inner_orders = 0;
   job.reporting_orders = request.reporting_orders;
   job.priority = request.priority;
+  job.allow_warm_start = request.warm;
   if (request.construction_seed.has_value()) {
     job.construction_rng = Rng(*request.construction_seed);
   }
-  // Callbacks run on worker threads: they only enqueue an event keyed by
-  // the wire id (assigned above, before any worker can fire) and wake the
-  // IO thread. The events are processed after this submit returned and
-  // the JobEntry exists.
+  // Callbacks run on worker threads — or, for a cache hit, synchronously
+  // from try_submit on this IO thread: either way they only enqueue an
+  // event keyed by the wire id (assigned above, before any worker can
+  // fire) and wake the IO thread. The events are processed after this
+  // submit returned and the JobEntry exists.
   job.on_terminal = [this, id](std::uint64_t, JobStatus,
                                const MapJobResult&) {
     Event event;
@@ -539,6 +574,7 @@ Json Daemon::status_body(std::uint64_t id, const JobEntry& entry) const {
 
   const MapJobResult& result = entry.handle.wait();  // terminal: immediate
   if (status == JobStatus::kDone) {
+    body.set("cache", Json(to_string(result.report.cache)));
     body.set("makespan", Json(result.report.predicted_makespan));
     body.set("reported_makespan", Json(result.reported_makespan));
     body.set("baseline_makespan", Json(result.baseline_makespan));
@@ -718,6 +754,7 @@ void Daemon::init_journal() {
       mjob.inner_orders = 0;
       mjob.reporting_orders = request.reporting_orders;
       mjob.priority = request.priority;
+      mjob.allow_warm_start = request.warm;
       if (request.construction_seed.has_value()) {
         mjob.construction_rng = Rng(*request.construction_seed);
       }

@@ -108,6 +108,13 @@ struct DaemonOptions {
   /// Terminal jobs kept addressable for status/subscribe; older ones are
   /// evicted FIFO (bounds daemon memory under sustained load).
   std::size_t completed_retention = 1024;
+  /// Result-cache entry bound (serve/result_cache.hpp); 0 disables the
+  /// cache entirely. On by default: cached answers are bit-identical to
+  /// recomputation, so repeat submissions of pinned-seed requests are
+  /// answered O(1) without occupying a worker.
+  std::size_t cache_entries = 4096;
+  /// Result-cache byte bound (estimated resident bytes; 0 = unbounded).
+  std::size_t cache_bytes = 256u << 20;
   /// Crash-safety journal path (spmap-journal/1); empty disables the
   /// journal (jobs are forgotten on restart, the pre-PR-7 behavior).
   std::string journal_path;
@@ -147,6 +154,9 @@ class Daemon : public SessionHost {
   /// Snapshot of the embedded service's admission/lifecycle counters.
   ServiceStats service_stats() const { return service_->stats(); }
 
+  /// The shared result cache (null when `cache_entries` was 0).
+  const std::shared_ptr<ResultCache>& result_cache() const { return cache_; }
+
   // ---- SessionHost (IO thread only) ----
   SubmitOutcome submit(std::uint64_t session,
                        const WireSubmit& request) override;
@@ -156,6 +166,7 @@ class Daemon : public SessionHost {
   void begin_drain(double grace_ms) override;
   bool draining() const override;
   Json server_info() const override;
+  Json stats_body() const override;
   std::string register_session(std::uint64_t session) override;
   ResumeOutcome resume_session(std::uint64_t conn, const std::string& token,
                                std::uint64_t last_seq) override;
@@ -255,6 +266,7 @@ class Daemon : public SessionHost {
   void logf(const char* fmt, ...) const;
 
   DaemonOptions options_;
+  std::shared_ptr<ResultCache> cache_;  ///< null when caching is off
   std::unique_ptr<MappingService> service_;
   std::optional<ListenSocket> listener_;
   int wake_read_ = -1;

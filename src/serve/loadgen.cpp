@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "model/platform.hpp"
@@ -67,6 +69,10 @@ struct RequestSpec {
 
 RequestSpec request_spec(const LoadgenOptions& options, std::uint64_t index,
                          const std::vector<MixEntry>& mix) {
+  // --distinct K folds the index: requests i and i+K are the same problem
+  // with the same pinned seeds, so a caching daemon answers the repeats
+  // from its memo.
+  if (options.distinct > 0) index %= options.distinct;
   std::uint64_t state =
       options.seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
   RequestSpec spec;
@@ -124,6 +130,11 @@ struct SessionOutcome {
   std::map<std::string, LoadgenClassStats> counts;
   std::vector<std::string> errors;
   bool connected = false;
+  // Cache outcomes of completed requests (see LoadgenReport).
+  std::size_t cache_hits = 0;
+  std::size_t cache_warm = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_none = 0;
   // Chaos accounting (see LoadgenReport).
   std::size_t drops = 0;
   std::size_t resumes = 0;
@@ -172,6 +183,17 @@ void record_done(const Json& done, const RequestSpec& spec, double latency_ms,
       done.contains("state") ? done.at("state").as_string() : "";
   if (state == "done") {
     ++stats.completed;
+    const std::string cache =
+        done.contains("cache") ? done.at("cache").as_string() : "none";
+    if (cache == "hit") {
+      ++out.cache_hits;
+    } else if (cache == "warm") {
+      ++out.cache_warm;
+    } else if (cache == "miss") {
+      ++out.cache_misses;
+    } else {
+      ++out.cache_none;
+    }
     Sample sample;
     sample.spec = spec;
     sample.latency_ms = latency_ms;
@@ -510,6 +532,9 @@ double percentile(std::vector<double>& sorted, double q) {
 
 /// Re-runs every completed request through a local MappingService with
 /// the identical job construction and demands bit-identical makespans.
+/// With --distinct, repeated identities are re-executed locally only
+/// once (the local run is deterministic, so one execution answers every
+/// repeat) but every sample is still compared and counted.
 void verify_samples(const LoadgenOptions& options,
                     const std::vector<Sample>& samples,
                     LoadgenReport& report) {
@@ -518,42 +543,60 @@ void verify_samples(const LoadgenOptions& options,
   MappingServiceOptions service_options;
   service_options.workers = 1;
   MappingService service(service_options);
+  struct LocalRun {
+    std::string error;
+    double makespan = 0.0;
+    double reported_makespan = 0.0;
+  };
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, LocalRun>
+      memo;
   for (const Sample& sample : samples) {
-    Json generate = Json::object();
-    generate.set("type", Json("sp"));
-    generate.set("tasks", Json(options.tasks));
-    generate.set("seed", Json(sample.spec.generate_seed));
+    const auto key = std::make_tuple(sample.spec.generate_seed,
+                                     sample.spec.construction_seed,
+                                     sample.spec.run_seed);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      Json generate = Json::object();
+      generate.set("type", Json("sp"));
+      generate.set("tasks", Json(options.tasks));
+      generate.set("seed", Json(sample.spec.generate_seed));
 
-    MapJob job;
-    job.mapper_spec = options.mapper;
-    job.graph = std::make_shared<const TaskGraph>(
-        graph_from_generate_spec(generate));
-    job.platform = platform;
-    job.inner_orders = 0;
-    if (options.reporting_orders > 0) {
-      job.reporting_orders = options.reporting_orders;
-    } else {
-      job.reporting_orders = 0;
+      MapJob job;
+      job.mapper_spec = options.mapper;
+      job.graph = std::make_shared<const TaskGraph>(
+          graph_from_generate_spec(generate));
+      job.platform = platform;
+      job.inner_orders = 0;
+      if (options.reporting_orders > 0) {
+        job.reporting_orders = options.reporting_orders;
+      } else {
+        job.reporting_orders = 0;
+      }
+      job.construction_rng = Rng(sample.spec.construction_seed);
+
+      MapRequest request;
+      request.max_evaluations = options.max_evaluations;
+      request.seed = sample.spec.run_seed;
+
+      MappingService::JobHandle handle =
+          service.submit(std::move(job), std::move(request));
+      const MapJobResult& result = handle.wait();
+      LocalRun run;
+      run.error = result.error;
+      run.makespan = result.report.predicted_makespan;
+      run.reported_makespan = result.reported_makespan;
+      it = memo.emplace(key, std::move(run)).first;
     }
-    job.construction_rng = Rng(sample.spec.construction_seed);
-
-    MapRequest request;
-    request.max_evaluations = options.max_evaluations;
-    request.seed = sample.spec.run_seed;
-
-    MappingService::JobHandle handle =
-        service.submit(std::move(job), std::move(request));
-    const MapJobResult& result = handle.wait();
+    const LocalRun& local = it->second;
     ++report.verified;
-    if (!result.error.empty() ||
-        result.report.predicted_makespan != sample.makespan ||
-        result.reported_makespan != sample.reported_makespan) {
+    if (!local.error.empty() || local.makespan != sample.makespan ||
+        local.reported_makespan != sample.reported_makespan) {
       ++report.mismatches;
       if (report.errors.size() < 8) {
         report.errors.push_back(
             "verify mismatch: server makespan " +
             std::to_string(sample.makespan) + " local " +
-            std::to_string(result.report.predicted_makespan));
+            std::to_string(local.makespan));
       }
     }
   }
@@ -632,6 +675,10 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     report.rehellos += out.rehellos;
     report.lost += out.lost;
     report.duplicated += out.duplicated;
+    report.cache_hits += out.cache_hits;
+    report.cache_warm += out.cache_warm;
+    report.cache_misses += out.cache_misses;
+    report.cache_none += out.cache_none;
   }
   require(any_connected,
           "loadgen: no session could connect to " +
@@ -676,6 +723,7 @@ Json loadgen_report_json(const LoadgenOptions& options,
   doc.set("tasks", Json(options.tasks));
   doc.set("max_evals", Json(options.max_evaluations));
   doc.set("seed", Json(options.seed));
+  if (options.distinct > 0) doc.set("distinct", Json(options.distinct));
   if (options.open_loop) {
     doc.set("rate_hz", Json(options.rate_hz));
     doc.set("duration_s", Json(options.duration_s));
@@ -690,6 +738,15 @@ Json loadgen_report_json(const LoadgenOptions& options,
   doc.set("failed", Json(report.failed));
   doc.set("verified", Json(report.verified));
   doc.set("mismatches", Json(report.mismatches));
+  doc.set("cache_hits", Json(report.cache_hits));
+  doc.set("cache_warm", Json(report.cache_warm));
+  doc.set("cache_misses", Json(report.cache_misses));
+  doc.set("cache_none", Json(report.cache_none));
+  doc.set("cache_hit_rate",
+          Json(report.completed > 0
+                   ? static_cast<double>(report.cache_hits) /
+                         static_cast<double>(report.completed)
+                   : 0.0));
   if (options.chaos) {
     doc.set("chaos", Json(true));
     doc.set("chaos_drop_rate", Json(options.chaos_drop_rate));

@@ -63,6 +63,16 @@ struct LoadgenOptions {
   std::size_t reporting_orders = 0;
   /// Base seed of the deterministic request streams.
   std::uint64_t seed = 1;
+  /// Distinct request identities; 0 = every request unique. With K > 0,
+  /// request `i` derives its seeds from `i % K`, so a run longer than K
+  /// requests repeats identities — the daemon's result cache answers the
+  /// repeats (the done event carries `cache: hit`), which the cache
+  /// counters below and `min_hit_rate` measure. `verify` still holds:
+  /// cached answers are bit-identical to recomputation.
+  std::size_t distinct = 0;
+  /// Fail the run (exit-code contract in spmap_loadgen) when
+  /// cache_hits / completed falls below this; negative disables.
+  double min_hit_rate = -1.0;
   /// Re-run every completed request locally and compare makespans
   /// bit-identically.
   bool verify = false;
@@ -109,6 +119,13 @@ struct LoadgenReport {
   /// and how many disagreed with the server bit-for-bit.
   std::size_t verified = 0;
   std::size_t mismatches = 0;
+  /// Cache outcomes reported in the done/status bodies of completed
+  /// requests (`cache: hit|warm|miss|none`; "none" also covers daemons
+  /// predating the field).
+  std::size_t cache_hits = 0;
+  std::size_t cache_warm = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_none = 0;
   // Chaos-mode accounting (all zero outside chaos mode).
   std::size_t drops = 0;       ///< connection losses, injected + incidental
   std::size_t resumes = 0;     ///< reconnects that resumed the session

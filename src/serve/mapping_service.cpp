@@ -7,6 +7,8 @@
 #include "mappers/registry.hpp"
 #include "model/cost_model.hpp"
 #include "sched/evaluator.hpp"
+#include "sched/problem_hash.hpp"
+#include "serve/result_cache.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -51,6 +53,21 @@ const char* to_string(JobStatus status) {
   return "unknown";
 }
 
+/// Everything submit precomputed about a cacheable job: the memo key,
+/// the warm-index key, and the structural translation data needed to
+/// store/read canonical-order warm mappings. Hashing happens outside
+/// every service lock (it is O(V log V + E log E) per submit).
+struct MappingService::CachePlan {
+  Digest exact_key;    ///< full computation identity (memo key)
+  Digest warm_key;     ///< problem identity (warm-index key)
+  Digest exact_graph;  ///< labeled graph hash (ambiguity fallback)
+  std::vector<std::uint32_t> canonical_rank;
+  bool ambiguous = false;
+  /// A warm seed was injected into this job's request: its result must
+  /// not enter the exact memo (the seed is not part of the key).
+  bool warm_injected = false;
+};
+
 /// Shared between the service, its workers and every handle copy. The
 /// per-job mutex/cv keeps handle operations independent of the service's
 /// queue lock (a wait() never blocks submissions).
@@ -59,6 +76,8 @@ struct MappingService::JobState {
   MapJob job;
   MapRequest request;
   Rng construction_rng{0};
+  std::optional<CachePlan> cache_plan;
+  CacheOutcome cache_outcome = CacheOutcome::kNone;
 
   mutable std::mutex mutex;
   std::condition_variable terminal;
@@ -125,9 +144,117 @@ std::optional<MappingService::JobHandle> MappingService::submit_locked(
   require(job.graph != nullptr, "MappingService: job without a graph");
   require(job.platform != nullptr, "MappingService: job without a platform");
 
+  // ---- cache consult (outside every service lock: hashing is O(V+E)) ----
+  ResultCache* cache = options_.cache.get();
+  std::optional<CachePlan> plan;
+  CacheOutcome outcome = CacheOutcome::kNone;
+  if (cache != nullptr && job.construction_rng.has_value()) {
+    // Cacheable only if deterministic: canonical spec resolvable (a bad
+    // spec stays uncacheable and fails in execute() with its usual
+    // diagnostic) and no wall-clock deadline anywhere — request-level or
+    // baked into the spec (nested init= sub-specs included, hence the
+    // substring check on the canonical form).
+    std::optional<std::string> canonical;
+    try {
+      canonical = MapperRegistry::instance().canonical_spec(job.mapper_spec);
+    } catch (const std::exception&) {
+    }
+    if (canonical.has_value() && request.deadline_ms <= 0.0 &&
+        canonical->find("deadline_ms=") == std::string::npos) {
+      plan.emplace();
+      const Digest graph_exact = task_graph_hash(*job.graph);
+      GraphStructure structure = structural_task_graph_hash(*job.graph);
+      const Digest platform = platform_hash(*job.platform);
+      const bool has_reporting_pass =
+          job.reporting != nullptr || job.reporting_orders.has_value();
+      const std::size_t reporting_orders =
+          job.reporting != nullptr
+              ? job.reporting->random_orders()
+              : job.reporting_orders.value_or(0);
+      ContentHasher key("spmap-memo-key/1");
+      key.digest(graph_exact)
+          .digest(structure.digest)
+          .digest(platform)
+          .str(*canonical)
+          .u64(request.max_evaluations)
+          .u64(request.max_iterations)
+          .boolean(request.seed.has_value())
+          .u64(request.seed.value_or(0))
+          .u64(job.inner_orders)
+          .boolean(has_reporting_pass)
+          .u64(reporting_orders)
+          .u64(job.construction_rng->fingerprint());
+      plan->exact_key = key.digest();
+      ContentHasher warm("spmap-warm-key/1");
+      warm.digest(structure.digest).digest(platform).u64(job.inner_orders);
+      plan->warm_key = warm.digest();
+      plan->exact_graph = graph_exact;
+      plan->canonical_rank = std::move(structure.canonical_rank);
+      plan->ambiguous = structure.ambiguous;
+    }
+  }
+
+  if (plan.has_value()) {
+    if (std::optional<MapJobResult> hit = cache->lookup(plan->exact_key)) {
+      // O(1) fast path: terminal before submit returns, no queue slot
+      // consumed (hits are admitted even when the queue is full), no
+      // worker occupied, on_start never fired. Wall-clock fields carry
+      // the original run's timings (excluded from determinism anyway).
+      auto state = std::make_shared<JobState>();
+      state->job = std::move(job);
+      hit->report.cache = CacheOutcome::kHit;
+      state->result = *std::move(hit);
+      state->status = JobStatus::kDone;
+      state->cache_outcome = CacheOutcome::kHit;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        state->id = next_id_++;
+        ++counters_.submitted;
+        ++counters_.done;
+        ++counters_.cache_hits;
+      }
+      bool fire = false;
+      {
+        std::unique_lock<std::mutex> job_lock(state->mutex);
+        fire = state->claim_terminal_notification_locked();
+      }
+      if (fire) {
+        state->job.on_terminal(state->id, JobStatus::kDone, state->result);
+      }
+      return JobHandle(state);
+    }
+    outcome = CacheOutcome::kMiss;
+    if (job.allow_warm_start) {
+      if (std::optional<ResultCache::WarmEntry> warm =
+              cache->lookup_warm(plan->warm_key)) {
+        // Translate the canonical-order incumbent into this graph's
+        // labeling. Ambiguous structures (symmetric twins) only match
+        // their exact labeling: the id tie-break makes cross-labeling
+        // ranks unsound there (see problem_hash.hpp).
+        const std::size_t n = plan->canonical_rank.size();
+        bool usable = warm->canonical_mapping.size() == n;
+        if (usable && (warm->ambiguous || plan->ambiguous)) {
+          usable = warm->exact_graph == plan->exact_graph;
+        }
+        if (usable) {
+          auto seed = std::make_shared<Mapping>();
+          seed->device.resize(n);
+          for (std::size_t v = 0; v < n; ++v) {
+            seed->device[v] = warm->canonical_mapping[plan->canonical_rank[v]];
+          }
+          request.warm_start = std::move(seed);
+          plan->warm_injected = true;
+          outcome = CacheOutcome::kWarm;
+        }
+      }
+    }
+  }
+
   auto state = std::make_shared<JobState>();
   state->job = std::move(job);
   state->request = std::move(request);
+  state->cache_plan = std::move(plan);
+  state->cache_outcome = outcome;
   // Per-job cancellation scope: JobHandle::cancel fires only this job's
   // token; the caller's original token (the child's parent) still cancels
   // every job submitted with it.
@@ -139,7 +266,7 @@ std::optional<MappingService::JobHandle> MappingService::submit_locked(
         queue_space_.wait(
             lock, [this] { return queued_count_ < options_.max_queued; });
       } else {
-        ++stats_.rejected;
+        ++counters_.rejected;
         (void)may_reject;
         return std::nullopt;
       }
@@ -154,7 +281,9 @@ std::optional<MappingService::JobHandle> MappingService::submit_locked(
       state->construction_rng = Rng(splitmix64(stream));
     }
     ++unfinished_;
-    ++stats_.submitted;
+    ++counters_.submitted;
+    if (outcome != CacheOutcome::kNone) ++counters_.cache_misses;
+    if (outcome == CacheOutcome::kWarm) ++counters_.cache_warm;
     ++queued_count_;
     queues_[state->job.priority].push_back(state);
   }
@@ -169,14 +298,25 @@ void MappingService::wait_all() {
 
 ServiceStats MappingService::stats() const {
   std::unique_lock<std::mutex> lock(mutex_);
-  ServiceStats snapshot = stats_;
+  ServiceStats snapshot;
+  snapshot.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  snapshot.rejected = counters_.rejected.load(std::memory_order_relaxed);
   snapshot.queued = queued_count_;
+  snapshot.running = counters_.running.load(std::memory_order_relaxed);
+  snapshot.done = counters_.done.load(std::memory_order_relaxed);
+  snapshot.failed = counters_.failed.load(std::memory_order_relaxed);
+  snapshot.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  snapshot.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  snapshot.cache_misses =
+      counters_.cache_misses.load(std::memory_order_relaxed);
+  snapshot.cache_warm = counters_.cache_warm.load(std::memory_order_relaxed);
   return snapshot;
 }
 
 void MappingService::worker_loop() {
   for (;;) {
     std::shared_ptr<JobState> state;
+    bool run = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock,
@@ -188,37 +328,39 @@ void MappingService::worker_loop() {
       state = std::move(it->second.front());
       it->second.pop_front();
       if (it->second.empty()) queues_.erase(it);
+      // The queued -> running (or queued -> cancelled, for a job the
+      // cancel path already made terminal) transition is accounted inside
+      // this one critical section, together with the queue pop: a stats()
+      // snapshot must never see a job in neither column. The nested
+      // status lock is safe — no path acquires mutex_ while holding a job
+      // mutex.
+      {
+        std::unique_lock<std::mutex> job_lock(state->mutex);
+        if (state->status == JobStatus::kQueued) {
+          state->status = JobStatus::kRunning;
+          run = true;
+        }
+      }
       --queued_count_;
+      if (run) {
+        ++counters_.running;
+      } else {
+        // Cancelled while waiting: the cancel path already fired
+        // on_terminal; just account for it.
+        ++counters_.cancelled;
+      }
     }
     queue_space_.notify_one();
 
-    bool run = false;
-    bool discarded_cancelled = false;
-    {
-      std::unique_lock<std::mutex> lock(state->mutex);
-      if (state->status == JobStatus::kQueued) {
-        state->status = JobStatus::kRunning;
-        run = true;
-      } else {
-        // Cancelled while waiting: the cancel path already made it
-        // terminal (and fired on_terminal); just account for it.
-        discarded_cancelled = state->status == JobStatus::kCancelled;
-      }
-    }
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (run) ++stats_.running;
-      if (discarded_cancelled) ++stats_.cancelled;
-    }
     if (run) {
       if (state->job.on_start) state->job.on_start(state->id);
       const JobStatus final_status = execute(*state);
       std::unique_lock<std::mutex> lock(mutex_);
-      --stats_.running;
+      --counters_.running;
       if (final_status == JobStatus::kFailed) {
-        ++stats_.failed;
+        ++counters_.failed;
       } else {
-        ++stats_.done;
+        ++counters_.done;
       }
     }
 
@@ -268,9 +410,36 @@ JobStatus MappingService::execute(JobState& state) {
     } else {
       result.reported_makespan = result.report.predicted_makespan;
     }
+    result.report.cache = state.cache_outcome;
   } catch (const std::exception& ex) {
     result.error = ex.what();
     final_status = JobStatus::kFailed;
+  }
+
+  // Feed the cache (outside every lock; shards synchronize internally).
+  // Only deterministic completions enter: kConverged/kBudgetExhausted are
+  // pure functions of the key, while deadline- or cancel-truncated runs
+  // depend on wall-clock racing and must never be replayed as answers.
+  if (state.cache_plan.has_value() && final_status == JobStatus::kDone &&
+      (result.report.termination == TerminationReason::kConverged ||
+       result.report.termination == TerminationReason::kBudgetExhausted)) {
+    ResultCache& cache = *options_.cache;
+    const CachePlan& plan = *state.cache_plan;
+    // Warm-started runs stay out of the exact memo: the injected seed
+    // changed the computation but is not part of the key.
+    if (!plan.warm_injected) cache.insert(plan.exact_key, result);
+    if (result.report.mapping.size() == plan.canonical_rank.size()) {
+      ResultCache::WarmEntry warm;
+      warm.exact_graph = plan.exact_graph;
+      warm.ambiguous = plan.ambiguous;
+      warm.predicted_makespan = result.report.predicted_makespan;
+      warm.canonical_mapping.resize(plan.canonical_rank.size());
+      for (std::size_t v = 0; v < plan.canonical_rank.size(); ++v) {
+        warm.canonical_mapping[plan.canonical_rank[v]] =
+            result.report.mapping.device[v];
+      }
+      cache.offer_warm(plan.warm_key, std::move(warm));
+    }
   }
 
   bool fire = false;

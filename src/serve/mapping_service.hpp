@@ -54,7 +54,33 @@
 /// service keeps serving its most urgent class first. `stats()` snapshots
 /// the admission counters for observability (the daemon's backpressure
 /// decisions read it).
+///
+/// ## Result cache
+///
+/// With `Options::cache` set, submit consults the memo before queueing.
+/// A job is *cacheable* iff its computation is a pure function of its
+/// inputs: the construction rng is pinned (`MapJob::construction_rng`
+/// set — a derived per-submission stream is unique by construction and
+/// would only pollute the memo) and neither the request nor the spec
+/// carries a wall-clock deadline. The key covers the exact graph +
+/// platform content hashes (sched/problem_hash.hpp), the canonical
+/// mapper spec, the request bounds + seed, the evaluation protocol
+/// (inner/reporting orders) and the rng fingerprint — everything the
+/// determinism contract needs for cached == computed, bit for bit.
+///
+/// A hit turns the job terminal inside submit: no queue slot (it is
+/// admitted even when the queue is full), no worker, `on_terminal` fired
+/// from the *submitting* thread before submit returns, `on_start` never
+/// fired, and `report.cache == CacheOutcome::kHit`. Misses run normally
+/// (reporting kMiss) and, when they finish deterministically (kDone with
+/// kConverged/kBudgetExhausted), are inserted. Uncacheable jobs report
+/// kNone. Jobs opting in via `MapJob::allow_warm_start` may additionally
+/// receive the best cached incumbent of the same *problem* (structural
+/// graph + platform) as their request's warm-start seed — those runs
+/// report kWarm and are never inserted into the exact memo (a warm seed
+/// changes the computation relative to the key).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,6 +101,8 @@
 #include "util/rng.hpp"
 
 namespace spmap {
+
+class ResultCache;
 
 /// Where a job is in its lifecycle (see the header comment).
 enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
@@ -106,6 +134,9 @@ class ReportingContext {
   /// `mapping` priced by the reporting protocol. Thread-safe.
   double evaluate(const Mapping& mapping) const;
   double baseline() const { return built().baseline; }
+  /// The protocol's random-order count (cache-key ingredient; cheap, does
+  /// not force the lazy build).
+  std::size_t random_orders() const { return reporting_orders_; }
   /// The shared cost model (immutable, thread-safe reads): jobs carrying
   /// this context build their inner evaluators on it instead of
   /// constructing a CostModel of their own.
@@ -152,6 +183,12 @@ struct MapJob {
   /// against the same graph/platform so the reporting evaluator and the
   /// baseline are built once, not per job. Must match `graph`/`platform`.
   std::shared_ptr<const ReportingContext> reporting;
+  /// Opt into warm-start reuse: on an exact-memo miss with a cached
+  /// incumbent for the same problem (structural graph + platform), the
+  /// incumbent is fed to the run as `MapRequest::warm_start`. Off by
+  /// default because a warm seed changes results relative to a cold run
+  /// — only drivers that prefer speed over replay-exactness set it.
+  bool allow_warm_start = false;
   /// Construction rng for MapperRegistry::create (decomposition forests,
   /// unseeded mapper seeds). Unset: derived from the service seed and the
   /// job's submission index.
@@ -162,10 +199,11 @@ struct MapJob {
   int priority = 0;
   /// Fired exactly once when the job turns terminal (kDone / kFailed /
   /// kCancelled), from the worker that finished it — or from the
-  /// cancelling thread for a queued-cancel. Runs outside every service
-  /// lock, so it may call any JobHandle or service member, but it must not
-  /// block: it delays that worker's next job. The serving daemon uses it
-  /// to push completion events to subscribed connections.
+  /// cancelling thread for a queued-cancel, or from the *submitting*
+  /// thread (before submit returns) for a cache hit. Runs outside every
+  /// service lock, so it may call any JobHandle or service member, but it
+  /// must not block: it delays that worker's next job. The serving daemon
+  /// uses it to push completion events to subscribed connections.
   std::function<void(std::uint64_t id, JobStatus status,
                      const MapJobResult& result)>
       on_terminal;
@@ -206,20 +244,35 @@ struct MappingServiceOptions {
   /// Applied by `submit` when the queue is full; `try_submit` always
   /// rejects (returns std::nullopt) regardless of this policy.
   QueueFullPolicy when_full = QueueFullPolicy::kReject;
+  /// Result cache consulted by submit (see the header comment). May be
+  /// shared between services; null disables caching entirely.
+  std::shared_ptr<ResultCache> cache;
 };
 
-/// Monotonic counter snapshot (consistent: taken under one lock).
-/// `submitted == queued + running + done + failed + cancelled`; rejected
-/// submissions are counted separately and never got a JobHandle.
+/// Monotonic counter snapshot. Every snapshot is *consistent*:
+/// `submitted == queued + running + done + failed + cancelled` holds in
+/// each one, because all lifecycle transitions mutate their two counters
+/// inside one critical section of the service lock (a job is never in
+/// neither column). The internal counters are atomics, so even an
+/// off-lock reader could not tear a single field; stats() still takes
+/// the lock for the cross-field invariant. Rejected submissions are
+/// counted separately and never got a JobHandle.
 struct ServiceStats {
   std::size_t submitted = 0;  ///< accepted submissions (all time)
   std::size_t rejected = 0;   ///< bounced by the admission bound
   std::size_t queued = 0;     ///< currently waiting for a worker
   std::size_t running = 0;    ///< currently executing
   std::size_t done = 0;       ///< terminal: completed (incl. cancelled-
-                              ///< while-running, which return incumbents)
+                              ///< while-running, which return incumbents,
+                              ///< and cache hits, which never queue)
   std::size_t failed = 0;     ///< terminal: threw (bad spec, ...)
   std::size_t cancelled = 0;  ///< terminal: cancelled while still queued
+  // Cache counters (all zero when Options::cache is null).
+  std::size_t cache_hits = 0;    ///< submissions answered from the memo
+  std::size_t cache_misses = 0;  ///< cacheable jobs that had to execute
+                                 ///< (warm-started ones included)
+  std::size_t cache_warm = 0;    ///< executions seeded with a cached
+                                 ///< incumbent (subset of cache_misses)
 };
 
 class MappingService {
@@ -260,6 +313,7 @@ class MappingService {
 
  private:
   struct JobState;
+  struct CachePlan;
 
   std::optional<JobHandle> submit_locked(MapJob job, MapRequest request,
                                          bool may_block, bool may_reject);
@@ -269,6 +323,22 @@ class MappingService {
   Options options_;
   std::vector<std::thread> workers_;
 
+  /// Lifecycle counters. Each field is atomic (an off-lock load can never
+  /// tear), but every mutation happens inside a `mutex_` critical section
+  /// that moves a job between exactly two columns — which is what makes
+  /// the ServiceStats snapshot invariant hold (see its comment).
+  struct Counters {
+    std::atomic<std::size_t> submitted{0};
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<std::size_t> running{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> cancelled{0};
+    std::atomic<std::size_t> cache_hits{0};
+    std::atomic<std::size_t> cache_misses{0};
+    std::atomic<std::size_t> cache_warm{0};
+  };
+
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;   // workers wait for jobs / stop
   std::condition_variable job_done_;     // waiters in wait_all
@@ -277,7 +347,7 @@ class MappingService {
   std::map<int, std::deque<std::shared_ptr<JobState>>, std::greater<int>>
       queues_;
   std::size_t queued_count_ = 0;  // entries across queues_
-  ServiceStats stats_;            // queued mirrors queued_count_
+  Counters counters_;             // ServiceStats::queued = queued_count_
   std::uint64_t next_id_ = 0;
   std::size_t unfinished_ = 0;  // submitted jobs not yet terminal
   bool stopping_ = false;

@@ -1,0 +1,135 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace spmap {
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {
+  const std::size_t shard_count = std::max<std::size_t>(1, options_.shards);
+  shards_ = std::vector<Shard>(shard_count);
+  // Equal per-shard slices, rounded up so small global bounds stay usable
+  // (a 1-entry cache with 8 shards still admits one entry per shard; the
+  // LRU/byte tests pin shards=1 for exact global bounds).
+  if (options_.max_entries != 0) {
+    shard_entry_budget_ =
+        std::max<std::size_t>(1, (options_.max_entries + shard_count - 1) /
+                                     shard_count);
+  }
+  if (options_.max_bytes != 0) {
+    shard_byte_budget_ = std::max<std::size_t>(
+        1, (options_.max_bytes + shard_count - 1) / shard_count);
+  }
+}
+
+std::size_t ResultCache::approx_bytes(const MapJobResult& result) {
+  return sizeof(ExactEntry) +
+         result.report.mapping.device.size() * sizeof(DeviceId) +
+         result.report.trajectory.size() * sizeof(IncumbentRecord) +
+         result.error.size();
+}
+
+std::optional<MapJobResult> ResultCache::lookup(const Digest& key) {
+  Shard& shard = shard_for(key);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+void ResultCache::evict_to_fit_locked(Shard& shard,
+                                      std::size_t incoming_bytes) {
+  while (!shard.lru.empty() &&
+         ((shard_entry_budget_ != 0 &&
+           shard.lru.size() + 1 > shard_entry_budget_) ||
+          (shard_byte_budget_ != 0 &&
+           shard.bytes + incoming_bytes > shard_byte_budget_))) {
+    const ExactEntry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::insert(const Digest& key, const MapJobResult& result) {
+  const std::size_t bytes = approx_bytes(result);
+  Shard& shard = shard_for(key);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  if (shard_byte_budget_ != 0 && bytes > shard_byte_budget_) return;
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place (identical by the determinism contract, so only
+    // recency and the byte estimate can change).
+    shard.bytes -= it->second->bytes;
+    it->second->result = result;
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  evict_to_fit_locked(shard, bytes);
+  shard.lru.push_front(ExactEntry{key, result, bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.inserts;
+}
+
+std::optional<ResultCache::WarmEntry> ResultCache::lookup_warm(
+    const Digest& problem_key) {
+  Shard& shard = shard_for(problem_key);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  auto it = shard.warm_index.find(problem_key);
+  if (it == shard.warm_index.end()) {
+    ++shard.warm_misses;
+    return std::nullopt;
+  }
+  ++shard.warm_hits;
+  shard.warm_lru.splice(shard.warm_lru.begin(), shard.warm_lru, it->second);
+  return it->second->entry;
+}
+
+void ResultCache::offer_warm(const Digest& problem_key, WarmEntry entry) {
+  Shard& shard = shard_for(problem_key);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  auto it = shard.warm_index.find(problem_key);
+  if (it != shard.warm_index.end()) {
+    // Keep the best incumbent; first writer wins ties so the stored seed
+    // is stable under re-offers.
+    if (entry.predicted_makespan < it->second->entry.predicted_makespan) {
+      it->second->entry = std::move(entry);
+    }
+    shard.warm_lru.splice(shard.warm_lru.begin(), shard.warm_lru, it->second);
+    return;
+  }
+  if (shard_entry_budget_ != 0 &&
+      shard.warm_lru.size() + 1 > shard_entry_budget_) {
+    shard.warm_index.erase(shard.warm_lru.back().key);
+    shard.warm_lru.pop_back();
+  }
+  shard.warm_lru.push_front(WarmSlot{problem_key, std::move(entry)});
+  shard.warm_index.emplace(problem_key, shard.warm_lru.begin());
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.inserts += shard.inserts;
+    out.evictions += shard.evictions;
+    out.warm_hits += shard.warm_hits;
+    out.warm_misses += shard.warm_misses;
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+}  // namespace spmap

@@ -1,0 +1,177 @@
+#pragma once
+/// \file result_cache.hpp
+/// Sharded LRU memo of finished MapJobResults + warm-start incumbent
+/// index — the "millions of users" lever of the ROADMAP.
+///
+/// ## What may be cached, and why hits are provably exact
+///
+/// The MappingService keys entries on the full computation identity
+/// (src/sched/problem_hash.hpp + the canonical mapper spec + merged run
+/// bounds + the construction-rng fingerprint + evaluation protocol). Only
+/// *deterministic* runs enter the memo: jobs with a pinned construction
+/// rng, no wall-clock deadline, and a terminal state of kConverged or
+/// kBudgetExhausted. Under the repo's determinism contract such a run is
+/// a pure function of the key, so replaying the stored result is
+/// bit-identical to recomputing it — the property
+/// tests/result_cache_test.cpp proves differentially. Everything else
+/// (deadline runs, cancelled runs, unpinned rng streams) bypasses the
+/// cache entirely and reports CacheOutcome::kNone.
+///
+/// ## Warm-start index
+///
+/// Next to the exact memo, each shard keeps a best-incumbent-per-problem
+/// index keyed on the *structural* (insertion-order-invariant) graph hash
+/// + platform + inner protocol. A warm lookup returns the best known
+/// mapping for that problem regardless of mapper/bounds — the "near miss"
+/// reuse: the service offers it as MapRequest::warm_start to opt-in jobs.
+/// Mappings are stored in canonical node order and translated through
+/// GraphStructure::canonical_rank, so structurally-equal graphs share
+/// seeds across labelings; ambiguous structures (symmetric twins) only
+/// match their exact labeling (see problem_hash.hpp).
+///
+/// ## Bounds and eviction
+///
+/// Both capacity bounds are enforced per shard (each shard gets an equal
+/// slice): inserting beyond `max_entries` or `max_bytes` evicts from the
+/// least-recently-used end until the new entry fits. Entries larger than
+/// a whole shard's byte budget are simply not admitted. Lookups refresh
+/// recency. The warm index shares the entry bound (its entries are small)
+/// but not the byte bound.
+///
+/// ## Thread-safety
+///
+/// Fully thread-safe: one mutex per shard, chosen by key bits, never held
+/// while another shard's is. Counters are plain integers mutated under
+/// their shard's mutex; `stats()` sums across shards (a racing snapshot
+/// is consistent per shard, which is all the observability needs).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "model/mapping.hpp"
+#include "serve/mapping_service.hpp"
+#include "util/content_hash.hpp"
+
+namespace spmap {
+
+struct ResultCacheOptions {
+  /// Power of two recommended; clamped to >= 1. The default suits a
+  /// daemon with tens of workers.
+  std::size_t shards = 8;
+  /// Total entry bound across shards (0 = entries unbounded).
+  std::size_t max_entries = 4096;
+  /// Total byte bound across shards (0 = bytes unbounded). Entry sizes
+  /// are estimated (mapping + trajectory + error payloads + overhead).
+  std::size_t max_bytes = 256u << 20;
+};
+
+/// Monotonic counters + current occupancy. hits/misses count exact-memo
+/// lookups; warm_hits/warm_misses the incumbent index.
+struct ResultCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t inserts = 0;
+  std::size_t evictions = 0;
+  std::size_t warm_hits = 0;
+  std::size_t warm_misses = 0;
+  std::size_t entries = 0;  ///< exact-memo entries currently resident
+  std::size_t bytes = 0;    ///< estimated resident bytes (exact memo)
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Exact-memo lookup; refreshes LRU recency on hit.
+  std::optional<MapJobResult> lookup(const Digest& key);
+
+  /// Inserts (or refreshes) the exact memo entry for `key`, evicting LRU
+  /// entries as needed. Oversized results (> the shard byte budget) are
+  /// dropped. The caller guarantees `result` came from a deterministic
+  /// run of the computation `key` identifies.
+  void insert(const Digest& key, const MapJobResult& result);
+
+  /// A warm-start seed: the best known incumbent of one problem, stored
+  /// in canonical node order (see GraphStructure).
+  struct WarmEntry {
+    /// Exact (labeled) graph hash of the run that produced the mapping.
+    Digest exact_graph;
+    /// Mapping in canonical node order: device of the rank-i node.
+    std::vector<DeviceId> canonical_mapping;
+    /// The producing run's reported predicted makespan (its own
+    /// labeling/evaluator; comparable across labelings only as a
+    /// heuristic, which is all seeding needs).
+    double predicted_makespan = 0.0;
+    /// Producer's structure was ambiguous: only exact labelings may use
+    /// this entry.
+    bool ambiguous = false;
+  };
+
+  /// Best incumbent for `problem_key`, if any; refreshes recency.
+  std::optional<WarmEntry> lookup_warm(const Digest& problem_key);
+
+  /// Offers an incumbent; kept only if the problem is new or the offer
+  /// beats the stored makespan.
+  void offer_warm(const Digest& problem_key, WarmEntry entry);
+
+  ResultCacheStats stats() const;
+
+  /// Approximate resident bytes of one memoized result (used for the
+  /// byte bound; exposed for tests).
+  static std::size_t approx_bytes(const MapJobResult& result);
+
+ private:
+  struct ExactEntry {
+    Digest key;
+    MapJobResult result;
+    std::size_t bytes = 0;
+  };
+  struct WarmSlot {
+    Digest key;
+    WarmEntry entry;
+  };
+  struct DigestHashFn {
+    std::size_t operator()(const Digest& d) const {
+      return static_cast<std::size_t>(d.lo);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<ExactEntry> lru;
+    std::unordered_map<Digest, std::list<ExactEntry>::iterator, DigestHashFn>
+        index;
+    std::size_t bytes = 0;
+    std::list<WarmSlot> warm_lru;
+    std::unordered_map<Digest, std::list<WarmSlot>::iterator, DigestHashFn>
+        warm_index;
+    // Counters (under mutex).
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inserts = 0;
+    std::size_t evictions = 0;
+    std::size_t warm_hits = 0;
+    std::size_t warm_misses = 0;
+  };
+
+  Shard& shard_for(const Digest& key) {
+    return shards_[key.hi % shards_.size()];
+  }
+  void evict_to_fit_locked(Shard& shard, std::size_t incoming_bytes);
+
+  ResultCacheOptions options_;
+  std::size_t shard_entry_budget_ = 0;  // 0 = unbounded
+  std::size_t shard_byte_budget_ = 0;   // 0 = unbounded
+  std::vector<Shard> shards_;
+};
+
+}  // namespace spmap

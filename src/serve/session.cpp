@@ -102,6 +102,7 @@ Json to_json(const WireSubmit& request) {
   }
   if (request.subscribe) body.set("subscribe", Json(true));
   if (request.want_mapping) body.set("return_mapping", Json(true));
+  if (request.warm) body.set("warm", Json(true));
   return body;
 }
 
@@ -111,7 +112,7 @@ WireSubmit wire_submit_from_json(const Json& body) {
       "submit",
       {"op", "tag", "mapper", "class", "graph", "generate", "platform",
        "deadline_ms", "max_evals", "max_iters", "seed", "construction_seed",
-       "reporting_orders", "subscribe", "return_mapping"});
+       "reporting_orders", "subscribe", "return_mapping", "warm"});
   require(body.contains("mapper") && body.at("mapper").is_string() &&
               !body.at("mapper").as_string().empty(),
           "\"mapper\" must be a non-empty registry spec string");
@@ -140,6 +141,7 @@ WireSubmit wire_submit_from_json(const Json& body) {
   request.reporting_orders = count_field(body, "reporting_orders", 0);
   request.subscribe = bool_field(body, "subscribe", false);
   request.want_mapping = bool_field(body, "return_mapping", false);
+  request.warm = bool_field(body, "warm", false);
   return request;
 }
 
@@ -175,13 +177,14 @@ std::vector<std::string> Session::on_frame(const std::string& line,
   }
   if (frame.op == "submit") return handle_submit(frame);
   if (frame.op == "status") return handle_status(frame);
+  if (frame.op == "stats") return handle_stats(frame);
   if (frame.op == "cancel") return handle_cancel(frame);
   if (frame.op == "subscribe") return handle_subscribe(frame);
   if (frame.op == "drain") return handle_drain(frame);
   return {error_line(
       WireErrorCode::kUnknownOp,
       "unknown op \"" + frame.op +
-          "\" (want submit|status|cancel|subscribe|drain)",
+          "\" (want submit|status|stats|cancel|subscribe|drain)",
       Json(Json::Object{{"op", Json(frame.op)}}))};
 }
 
@@ -340,6 +343,18 @@ std::vector<std::string> Session::handle_status(const Frame& frame) {
   }
   status->set("op", Json("status"));
   return {ok_line(*std::move(status))};
+}
+
+std::vector<std::string> Session::handle_stats(const Frame& frame) {
+  try {
+    frame.body.require_keys("stats", {"op"});
+  } catch (const Error& ex) {
+    return {error_line(WireErrorCode::kBadRequest, ex.what(),
+                       Json(Json::Object{{"op", Json("stats")}}))};
+  }
+  Json body = host_->stats_body();
+  body.set("op", Json("stats"));
+  return {ok_line(std::move(body))};
 }
 
 std::vector<std::string> Session::handle_cancel(const Frame& frame) {

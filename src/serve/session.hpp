@@ -31,8 +31,8 @@
 ///    `unknown_op` / `bad_request` / `unknown_job` answer and keep the
 ///    session (app-level mistakes are recoverable).
 ///  * kDraining — entered when the server starts draining: `submit` is
-///    refused with code `draining`; `status`/`cancel`/`subscribe` still
-///    work so clients can watch their in-flight jobs finish.
+///    refused with code `draining`; `status`/`stats`/`cancel`/`subscribe`
+///    still work so clients can watch their in-flight jobs finish.
 ///  * kClosed — terminal; the daemon flushes pending output and closes.
 ///
 /// ## Thread-safety
@@ -82,6 +82,12 @@ struct WireSubmit {
   bool subscribe = false;
   /// Include the device assignment in the done/status payload.
   bool want_mapping = false;
+  /// Opt into warm-start reuse (MapJob::allow_warm_start): on a result-
+  /// cache near-miss the run is seeded with the best cached incumbent of
+  /// the same problem. Off by default because a warm seed changes results
+  /// relative to a cold run — clients that verify bit-identity leave it
+  /// off.
+  bool warm = false;
 };
 
 /// What the host answered a submit with.
@@ -139,6 +145,9 @@ class SessionHost {
   virtual bool draining() const = 0;
   /// Extra fields for the hello response (server name, worker count...).
   virtual Json server_info() const { return Json::object(); }
+  /// Body of the `stats` verb: live admission/lifecycle/cache counters.
+  /// Default: empty (minimal hosts without observability).
+  virtual Json stats_body() const { return Json::object(); }
   /// Issues a resume token for a freshly-helloed session. An empty token
   /// means the host does not support resumption (tests, minimal hosts):
   /// the hello response then omits session/token.
@@ -196,6 +205,7 @@ class Session {
   std::vector<std::string> handle_resume(const Frame& frame);
   std::vector<std::string> handle_submit(const Frame& frame);
   std::vector<std::string> handle_status(const Frame& frame);
+  std::vector<std::string> handle_stats(const Frame& frame);
   std::vector<std::string> handle_cancel(const Frame& frame);
   std::vector<std::string> handle_subscribe(const Frame& frame);
   std::vector<std::string> handle_drain(const Frame& frame);

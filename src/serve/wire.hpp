@@ -3,8 +3,8 @@
 /// The `spmap-wire/1` frame codec: newline-delimited JSON over a stream.
 ///
 /// One frame is one UTF-8 JSON object on one line, terminated by '\n'.
-/// Requests carry an `"op"` verb (`hello`, `submit`, `status`, `cancel`,
-/// `subscribe`, `drain`); responses answer in request order with
+/// Requests carry an `"op"` verb (`hello`, `submit`, `status`, `stats`,
+/// `cancel`, `subscribe`, `drain`); responses answer in request order with
 /// `{"ok":true,...}` or `{"ok":false,"error":{"code","message"}}`;
 /// server-initiated pushes carry `"event"` instead of `"ok"`
 /// (`incumbent`, `done`, `draining`, `closing`). docs/SERVING.md is the

@@ -1,0 +1,162 @@
+#include "util/content_hash.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace spmap {
+
+namespace {
+
+/// Type tags for domain separation. Values are arbitrary but fixed: the
+/// digest is a persistent identity only within one process lifetime today,
+/// but keeping tags stable costs nothing and keeps test vectors stable.
+enum Tag : std::uint64_t {
+  kTagU64 = 0x75363475ULL,     // "u64u"
+  kTagI64 = 0x69363469ULL,
+  kTagBool = 0x626f6f6cULL,    // "bool"
+  kTagF64 = 0x66363466ULL,
+  kTagStr = 0x73747221ULL,     // "str!"
+  kTagStrByte = 0x73747262ULL,
+  kTagDigest = 0x64696773ULL,  // "digs"
+  kTagNull = 0x6e756c6cULL,    // "null"
+  kTagArray = 0x61727221ULL,
+  kTagObject = 0x6f626a21ULL,
+  kTagKey = 0x6b657921ULL,
+};
+
+std::uint64_t mix(std::uint64_t v) {
+  std::uint64_t s = v;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 60 - 8 * (i % 8);
+    out[static_cast<std::size_t>(2 * i)] = digits[(word >> shift) & 0xf];
+    out[static_cast<std::size_t>(2 * i + 1)] =
+        digits[(word >> (shift - 4)) & 0xf];
+  }
+  return out;
+}
+
+ContentHasher::ContentHasher()
+    : h1_(0x243f6a8885a308d3ULL), h2_(0x13198a2e03707344ULL) {}
+
+ContentHasher::ContentHasher(std::string_view domain) : ContentHasher() {
+  str(domain);
+}
+
+void ContentHasher::absorb(std::uint64_t tag, std::uint64_t v) {
+  // Two independent splitmix lanes over (tag, value, position). The
+  // position term makes the stream order-sensitive even across lane
+  // cancellation; the cross-feed (h2_ into lane 1 and vice versa) makes
+  // the 128 bits depend jointly on the whole stream.
+  ++count_;
+  h1_ = mix(h1_ ^ mix(tag ^ 0x9e3779b97f4a7c15ULL * count_) ^ v);
+  h2_ = mix(h2_ + (tag * 0xbf58476d1ce4e5b9ULL) + mix(v ^ h1_));
+}
+
+ContentHasher& ContentHasher::u64(std::uint64_t v) {
+  absorb(kTagU64, v);
+  return *this;
+}
+
+ContentHasher& ContentHasher::i64(std::int64_t v) {
+  absorb(kTagI64, static_cast<std::uint64_t>(v));
+  return *this;
+}
+
+ContentHasher& ContentHasher::boolean(bool v) {
+  absorb(kTagBool, v ? 1 : 0);
+  return *this;
+}
+
+ContentHasher& ContentHasher::f64(double v) {
+  absorb(kTagF64, std::bit_cast<std::uint64_t>(v));
+  return *this;
+}
+
+ContentHasher& ContentHasher::str(std::string_view s) {
+  absorb(kTagStr, s.size());
+  // Pack 8 bytes per absorb; the length prefix above disambiguates the
+  // zero-padded tail.
+  std::uint64_t word = 0;
+  int n = 0;
+  for (unsigned char c : s) {
+    word |= static_cast<std::uint64_t>(c) << (8 * n);
+    if (++n == 8) {
+      absorb(kTagStrByte, word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n != 0) absorb(kTagStrByte, word);
+  return *this;
+}
+
+ContentHasher& ContentHasher::digest(const Digest& d) {
+  absorb(kTagDigest, d.hi);
+  absorb(kTagDigest, d.lo);
+  return *this;
+}
+
+Digest ContentHasher::digest() const {
+  // Finalize into an independent pair so short streams still fill both
+  // words (absorb already mixed count_ in).
+  std::uint64_t a = h1_ ^ mix(h2_);
+  std::uint64_t b = h2_ + mix(h1_ ^ 0x452821e638d01377ULL);
+  return Digest{mix(a) ^ b, mix(b ^ a)};
+}
+
+namespace {
+
+void hash_json_into(const Json& value, ContentHasher& h) {
+  if (value.is_null()) {
+    h.u64(kTagNull);
+  } else if (value.is_bool()) {
+    h.boolean(value.as_bool());
+  } else if (value.is_number()) {
+    h.f64(value.as_double());
+  } else if (value.is_string()) {
+    h.str(value.as_string());
+  } else if (value.is_array()) {
+    const Json::Array& a = value.as_array();
+    h.u64(kTagArray).u64(a.size());
+    for (const Json& v : a) hash_json_into(v, h);
+  } else {
+    // Canonical object form: entries hashed in sorted key order (stable
+    // sort keeps duplicate keys, if any, in document order).
+    const Json::Object& o = value.as_object();
+    std::vector<const std::pair<std::string, Json>*> entries;
+    entries.reserve(o.size());
+    for (const auto& e : o) entries.push_back(&e);
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto* a, const auto* b) {
+                       return a->first < b->first;
+                     });
+    h.u64(kTagObject).u64(entries.size());
+    for (const auto* e : entries) {
+      h.u64(kTagKey).str(e->first);
+      hash_json_into(e->second, h);
+    }
+  }
+}
+
+}  // namespace
+
+Digest hash_json(const Json& value) {
+  ContentHasher h("spmap-json/1");
+  hash_json_into(value, h);
+  return h.digest();
+}
+
+}  // namespace spmap

@@ -8,6 +8,7 @@
 /// <random>, every sampler here is bit-reproducible across platforms and
 /// compilers, which keeps experiment results stable.
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -117,6 +118,24 @@ class Rng {
 
   /// Derives an independent child generator (for parallel substreams).
   Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Order-sensitive fingerprint of the generator's exact state: equal
+  /// fingerprints mean the two generators will produce identical draws
+  /// forever (the cached Box-Muller deviate included). The result cache
+  /// folds this into its key so a memoized run is only ever served for a
+  /// construction stream that would replay it bit-identically.
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (std::uint64_t s : state_) {
+      std::uint64_t x = h ^ s;
+      h = splitmix64(x);
+    }
+    if (has_cached_normal_) {
+      std::uint64_t x = h ^ std::bit_cast<std::uint64_t>(cached_normal_);
+      h = splitmix64(x);
+    }
+    return h;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

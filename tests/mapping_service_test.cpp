@@ -466,6 +466,48 @@ TEST(MappingService, StatsAccountTheWholeLifecycle) {
   EXPECT_EQ(stats.running, 0u);
 }
 
+TEST(MappingService, StatsSnapshotsAreConsistentUnderLoad) {
+  // Regression: lifecycle transitions used to mutate their two counters
+  // in separate critical sections, so a concurrent stats() reader could
+  // observe a job in neither column (queued already decremented, running
+  // not yet incremented) and the invariant below would fail.
+  const auto graph = make_graph(77, 10);
+  const auto platform = make_platform();
+  MappingService service({.workers = 4});
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> violations{0};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const ServiceStats s = service.stats();
+      if (s.submitted !=
+          s.queued + s.running + s.done + s.failed + s.cancelled) {
+        ++violations;
+      }
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<MappingService::JobHandle> handles;
+      for (int i = 0; i < 40; ++i) {
+        handles.push_back(service.submit(make_job(graph, platform, "heft")));
+      }
+      for (const auto& h : handles) h.wait();
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  service.wait_all();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.submitted, 120u);
+  EXPECT_EQ(s.done, 120u);
+}
+
 TEST(MappingService, StatusLabels) {
   EXPECT_STREQ(to_string(JobStatus::kQueued), "queued");
   EXPECT_STREQ(to_string(JobStatus::kRunning), "running");

@@ -129,15 +129,18 @@ int usage() {
                "  evaluate     --in FILE --mapping 0,1,2,... "
                "[--random-orders N]\n"
                "  sweep        --scenario FILE [--out FILE] [--threads N] "
-               "[--seed S] [--repetitions N] [--quiet]   (run a declarative "
+               "[--seed S] [--repetitions N] [--cache-entries N] "
+               "[--cache-bytes N] [--quiet]   (run a declarative "
                "scenario; see docs/FORMATS.md)\n"
                "  serve        --scenario FILE --jobs N [--out FILE] "
-               "[--seed S] [--repetitions N] [--quiet]   (run a scenario "
+               "[--seed S] [--repetitions N] [--cache-entries N] "
+               "[--cache-bytes N] [--quiet]   (run a scenario "
                "through the MappingService job layer)\n"
                "  daemon       --listen unix:PATH|tcp:HOST:PORT "
                "[--workers N] [--max-queued N] [--idle-timeout-s S] "
                "[--grace-ms MS] [--seed S] [--journal FILE] "
                "[--retention N] [--resume-window-s S] "
+               "[--cache-entries N] [--cache-bytes N] "
                "[--failpoints SPEC] [--quiet]   (spmap-wire/1 "
                "serving daemon; see docs/SERVING.md)\n"
                "  list-mappers [--verbose] [--markdown]   (all registered "
@@ -353,7 +356,7 @@ int run_scenario_command(int argc, char** argv, bool serve) {
   const char* cmd = serve ? "serve" : "sweep";
   const Flags flags(argc, argv,
                     {"scenario", "out", serve ? "jobs" : "threads", "seed",
-                     "repetitions", "quiet"});
+                     "repetitions", "cache-entries", "cache-bytes", "quiet"});
   const std::string path = flags.get("scenario", "");
   require(!path.empty(),
           std::string(cmd) + ": --scenario FILE is required");
@@ -374,6 +377,15 @@ int run_scenario_command(int argc, char** argv, bool serve) {
   options.threads = static_cast<std::size_t>(workers);
   options.progress = !flags.get_bool("quiet", false);
   options.log_jobs = serve && !flags.get_bool("quiet", false);
+  // Result cache is off by default so the default results document stays
+  // byte-stable (no cache_* keys).
+  const std::int64_t cache_entries = flags.get_int("cache-entries", 0);
+  require(cache_entries >= 0,
+          std::string(cmd) + ": --cache-entries must be >= 0");
+  options.cache_entries = static_cast<std::size_t>(cache_entries);
+  const std::int64_t cache_bytes = flags.get_int("cache-bytes", 0);
+  require(cache_bytes >= 0, std::string(cmd) + ": --cache-bytes must be >= 0");
+  options.cache_bytes = static_cast<std::size_t>(cache_bytes);
 
   const std::string out = flags.get("out", "");
   if (out.empty()) {
@@ -436,7 +448,8 @@ int cmd_daemon(int argc, char** argv) {
   const Flags flags(argc, argv,
                     {"listen", "workers", "max-queued", "idle-timeout-s",
                      "grace-ms", "seed", "journal", "retention",
-                     "resume-window-s", "failpoints", "quiet"});
+                     "resume-window-s", "cache-entries", "cache-bytes",
+                     "failpoints", "quiet"});
   const std::string listen = flags.get("listen", "");
   require(!listen.empty(),
           "daemon: --listen ENDPOINT is required (unix:PATH or "
@@ -467,6 +480,16 @@ int cmd_daemon(int argc, char** argv) {
       flags.get_double("resume-window-s", options.resume_window_s);
   require(options.resume_window_s >= 0.0,
           "daemon: --resume-window-s must be >= 0");
+  // Cache is on by default (cached answers are bit-identical to
+  // recomputation); --cache-entries 0 disables it.
+  const std::int64_t cache_entries = flags.get_int(
+      "cache-entries", static_cast<std::int64_t>(options.cache_entries));
+  require(cache_entries >= 0, "daemon: --cache-entries must be >= 0");
+  options.cache_entries = static_cast<std::size_t>(cache_entries);
+  const std::int64_t cache_bytes = flags.get_int(
+      "cache-bytes", static_cast<std::int64_t>(options.cache_bytes));
+  require(cache_bytes >= 1, "daemon: --cache-bytes must be >= 1");
+  options.cache_bytes = static_cast<std::size_t>(cache_bytes);
   // Fault injection: the flag takes precedence; the environment is read
   // either way so CI can arm failpoints without touching the invocation.
   Failpoints::instance().arm_from_env();

@@ -31,6 +31,11 @@
 ///   --max-evals N      per-request evaluation budget
 ///   --reporting-orders N   server-side reporting evaluator orders
 ///   --seed S           deterministic request stream seed
+///   --distinct K       fold requests onto K identities (request i uses
+///                      the seeds of i mod K) so repeats hit the daemon's
+///                      result cache; cache outcomes are counted from the
+///                      done events
+///   --min-hit-rate P   fail unless cache_hits/completed >= P
 ///   --verify           local bit-identity re-execution
 ///   --connect-retries N   extra connect attempts with backoff
 ///   --backoff-ms MS    first backoff delay between connect attempts
@@ -68,7 +73,8 @@ int usage() {
                "[--sessions N] [--requests N] [--open-loop] [--rate-hz R] "
                "[--duration-s S] [--mix high=1,normal=2,low=1] "
                "[--mapper SPEC] [--tasks N] [--max-evals N] "
-               "[--reporting-orders N] [--seed S] [--verify] "
+               "[--reporting-orders N] [--seed S] [--distinct K] "
+               "[--min-hit-rate P] [--verify] "
                "[--connect-retries N] [--backoff-ms MS] [--chaos] "
                "[--chaos-drop-rate P] [--json FILE] [--quiet]\n");
   return kExitUsage;
@@ -95,6 +101,17 @@ void print_summary(const LoadgenOptions& options,
     std::printf("verified=%zu mismatches=%zu\n", report.verified,
                 report.mismatches);
   }
+  if (options.distinct > 0 || report.cache_hits > 0 ||
+      report.cache_warm > 0) {
+    const double hit_rate =
+        report.completed > 0
+            ? static_cast<double>(report.cache_hits) /
+                  static_cast<double>(report.completed)
+            : 0.0;
+    std::printf("cache: hits=%zu warm=%zu miss=%zu none=%zu hit_rate=%.3f\n",
+                report.cache_hits, report.cache_warm, report.cache_misses,
+                report.cache_none, hit_rate);
+  }
   if (options.chaos) {
     std::printf(
         "chaos: drops=%zu resumes=%zu rehellos=%zu lost=%zu "
@@ -111,7 +128,8 @@ int main(int argc, char** argv) {
     const Flags flags(argc, argv,
                       {"endpoint", "sessions", "requests", "open-loop",
                        "rate-hz", "duration-s", "mix", "mapper", "tasks",
-                       "max-evals", "reporting-orders", "seed", "verify",
+                       "max-evals", "reporting-orders", "seed", "distinct",
+                       "min-hit-rate", "verify",
                        "connect-retries", "backoff-ms", "chaos",
                        "chaos-drop-rate", "json", "quiet"});
     const std::string endpoint = flags.get("endpoint", "");
@@ -142,6 +160,12 @@ int main(int argc, char** argv) {
     require(orders >= 0, "loadgen: --reporting-orders must be >= 0");
     options.reporting_orders = static_cast<std::size_t>(orders);
     options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    const std::int64_t distinct = flags.get_int("distinct", 0);
+    require(distinct >= 0, "loadgen: --distinct must be >= 0");
+    options.distinct = static_cast<std::size_t>(distinct);
+    options.min_hit_rate = flags.get_double("min-hit-rate", -1.0);
+    require(options.min_hit_rate <= 1.0,
+            "loadgen: --min-hit-rate must be <= 1");
     options.verify = flags.get_bool("verify", false);
     const std::int64_t retries = flags.get_int("connect-retries", 0);
     require(retries >= 0, "loadgen: --connect-retries must be >= 0");
@@ -174,6 +198,16 @@ int main(int argc, char** argv) {
                    "spmap_loadgen: run failed (failed=%zu mismatches=%zu "
                    "completed=%zu)\n",
                    report.failed, report.mismatches, report.completed);
+      return kExitFailure;
+    }
+    if (options.min_hit_rate >= 0.0 && report.completed > 0 &&
+        static_cast<double>(report.cache_hits) /
+                static_cast<double>(report.completed) <
+            options.min_hit_rate) {
+      std::fprintf(stderr,
+                   "spmap_loadgen: cache hit rate below threshold "
+                   "(hits=%zu completed=%zu min=%.3f)\n",
+                   report.cache_hits, report.completed, options.min_hit_rate);
       return kExitFailure;
     }
     if (report.lost > 0 || report.duplicated > 0) {
