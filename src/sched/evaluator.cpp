@@ -59,26 +59,32 @@ Evaluator::WalkPlan Evaluator::build_plan(
   return plan;
 }
 
-void Evaluator::prepare(EvalContext& ctx) const {
-  const std::size_t n = flat_.node_count();
-  if (ctx.start_.size() != n) {
-    ctx.start_.resize(n);
-    ctx.finish_.resize(n);
-  }
-  if (ctx.slot_ready_.size() != slot_offset_.back()) {
-    ctx.slot_ready_.resize(slot_offset_.back());
-  }
-  if (ctx.link_ready_.size() != device_count_) {
-    ctx.link_ready_.resize(device_count_);
-  }
+void EvalContext::layout(std::size_t nodes, std::size_t slots,
+                         std::size_t devices) {
+  if (nodes_ == nodes && slots_ == slots && devices_ == devices) return;
+  // Segment offsets round up to a cache line (8 doubles) so no two
+  // segments share a line; see the class comment in evaluator.hpp.
+  constexpr std::size_t kLineDoubles = 8;
+  const auto pad = [](std::size_t x) {
+    return (x + kLineDoubles - 1) / kLineDoubles * kLineDoubles;
+  };
+  nodes_ = nodes;
+  slots_ = slots;
+  devices_ = devices;
+  finish_off_ = pad(nodes);
+  slot_off_ = finish_off_ + pad(nodes);
+  link_off_ = slot_off_ + pad(slots);
+  // The per-evaluation reset zeroes slot_ready, the alignment gap and
+  // link_ready in one contiguous fill; the gap doubles are never read.
+  reset_len_ = link_off_ + devices - slot_off_;
+  arena_.assign(link_off_ + devices, 0.0);
 }
 
 double Evaluator::evaluate_plan(const Mapping& mapping, const WalkPlan& plan,
                                 EvalContext& ctx) const {
   ++ctx.evals_;
-  prepare(ctx);
-  std::fill(ctx.slot_ready_.begin(), ctx.slot_ready_.end(), 0.0);
-  std::fill(ctx.link_ready_.begin(), ctx.link_ready_.end(), 0.0);
+  ctx.layout(flat_.node_count(), slot_offset_.back(), device_count_);
+  std::fill_n(ctx.slot_ready(), ctx.reset_len_, 0.0);
 
   // Everything the sweep touches is a contiguous array captured in a local
   // non-aliasing pointer, so the loop body stays in registers.
@@ -92,10 +98,10 @@ double Evaluator::evaluate_plan(const Mapping& mapping, const WalkPlan& plan,
   const double* __restrict lat = link_latency_.data();
   const double* __restrict bw = link_bandwidth_.data();
   const std::size_t* __restrict slot_offset = slot_offset_.data();
-  double* __restrict start = ctx.start_.data();
-  double* __restrict finish = ctx.finish_.data();
-  double* __restrict slot_ready = ctx.slot_ready_.data();
-  double* __restrict link_ready = ctx.link_ready_.data();
+  double* __restrict start = ctx.start();
+  double* __restrict finish = ctx.finish();
+  double* __restrict slot_ready = ctx.slot_ready();
+  double* __restrict link_ready = ctx.link_ready();
 
   double makespan = 0.0;
   for (const PlanNode pn : plan) {
@@ -196,14 +202,26 @@ std::vector<double> Evaluator::evaluate_batch(std::span<const Mapping> mappings,
       result[i] = evaluate(mappings[i], batch_contexts_[0]);
     }
   } else {
-    pool->parallel_for(mappings.size(), [&](std::size_t begin,
-                                            std::size_t end,
-                                            std::size_t worker) {
-      EvalContext& ctx = batch_contexts_[worker];
-      for (std::size_t i = begin; i < end; ++i) {
-        result[i] = evaluate(mappings[i], ctx);
-      }
-    });
+    // Chunks of 8 dealt round-robin: small enough that a few expensive
+    // mappings (e.g. large-makespan outliers on a skewed cohort) spread
+    // across workers instead of serializing one block, large enough that
+    // dispatch overhead stays negligible.
+    //
+    // False-sharing audit of `result`: a chunk of 8 doubles is exactly one
+    // 64-byte cache line, so with chunked writes each worker owns whole
+    // lines except possibly the two lines straddling the vector's start
+    // and end (the allocator guarantees 16-byte alignment only). At most
+    // two boundary lines per chunk transition can ping-pong, independent
+    // of batch size — negligible next to the evaluation cost per item.
+    constexpr std::size_t kBatchChunk = 8;
+    pool->parallel_for_chunks(
+        mappings.size(), kBatchChunk,
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          EvalContext& ctx = batch_contexts_[worker];
+          for (std::size_t i = begin; i < end; ++i) {
+            result[i] = evaluate(mappings[i], ctx);
+          }
+        });
   }
   std::size_t after = 0;
   for (const EvalContext& ctx : batch_contexts_) after += ctx.evals_;

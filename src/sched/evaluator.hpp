@@ -82,6 +82,18 @@ inline constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 /// Per-thread (or per-call) simulation scratch. Reused across evaluations;
 /// buffers grow on first use with a given evaluator. A context may only be
 /// used with one evaluator at a time and by one thread at a time.
+///
+/// All four per-sweep arrays (start, finish, slot_ready, link_ready) live
+/// as plain-double segments of one arena allocation, in that order. The
+/// structure-of-arrays layout keeps each inner loop of `evaluate_plan`
+/// streaming over one contiguous double array (the device-frontier minimum
+/// scans slot_ready linearly, the transfer reduction reads finish/link_ready
+/// linearly), which is what lets the compiler vectorize them. Segment
+/// offsets are rounded up to a cache line (8 doubles) so segments never
+/// share a line with each other, and slot_ready/link_ready are adjacent so
+/// the per-evaluation reset is a single fill. Segments are addressed by
+/// offset, not pointer, so contexts copy and move safely (the pool's
+/// per-worker context vector relies on this).
 class EvalContext {
  public:
   /// Single-order evaluations performed through this context.
@@ -89,10 +101,23 @@ class EvalContext {
 
  private:
   friend class Evaluator;
-  std::vector<double> start_;
-  std::vector<double> finish_;
-  std::vector<double> slot_ready_;  // flattened per (device, slot)
-  std::vector<double> link_ready_;  // per device
+
+  /// (Re)shapes the arena for a graph with `nodes` nodes on a platform
+  /// with `slots` total execution slots across `devices` devices. No-op
+  /// when the shape is unchanged.
+  void layout(std::size_t nodes, std::size_t slots, std::size_t devices);
+
+  double* start() { return arena_.data(); }
+  double* finish() { return arena_.data() + finish_off_; }
+  double* slot_ready() { return arena_.data() + slot_off_; }
+  double* link_ready() { return arena_.data() + link_off_; }
+  const double* start() const { return arena_.data(); }
+  const double* finish() const { return arena_.data() + finish_off_; }
+
+  std::vector<double> arena_;  // start | finish | slot_ready | link_ready
+  std::size_t nodes_ = 0, slots_ = 0, devices_ = 0;  // current shape
+  std::size_t finish_off_ = 0, slot_off_ = 0, link_off_ = 0;
+  std::size_t reset_len_ = 0;  // doubles to zero from slot_ready() per eval
   std::size_t evals_ = 0;
 };
 
@@ -122,13 +147,16 @@ class Evaluator {
 
   // ---- single-threaded convenience (shared internal scratch) ----
 
-  /// Makespans of a batch of mappings, in order. With a pool of k workers
-  /// the batch is split into k contiguous blocks, each evaluated with a
-  /// persistent per-worker context; results are bit-identical to the
-  /// serial path for every thread count. `pool == nullptr` (or a 1-thread
-  /// pool) runs serially on the caller. The batch is internally parallel
-  /// but a *single-caller* API: it reuses internal scratch and aggregates
-  /// into evaluation_count(), so do not call it (or the other convenience
+  /// Makespans of a batch of mappings, in order. With a pool the batch is
+  /// split into fixed-size chunks dealt round-robin to the workers (each
+  /// item still evaluated independently with a persistent per-worker
+  /// context), so one expensive region of the batch cannot serialize the
+  /// call on a single worker; the chunk→worker map depends only on the
+  /// batch size, so results are bit-identical to the serial path for every
+  /// thread count. `pool == nullptr` (or a 1-thread pool) runs serially on
+  /// the caller. The batch is internally parallel but a *single-caller*
+  /// API: it reuses internal scratch and aggregates into
+  /// evaluation_count(), so do not call it (or the other convenience
   /// overloads) concurrently from several threads.
   std::vector<double> evaluate_batch(std::span<const Mapping> mappings,
                                      ThreadPool* pool = nullptr) const;
@@ -153,12 +181,13 @@ class Evaluator {
 
   /// Per-task start/finish times of the most recent *convenience-overload*
   /// evaluate_order()/evaluate() call (schedule extraction; see
-  /// sched/schedule.hpp). Context and batch evaluations do not touch these.
-  const std::vector<double>& last_start_times() const {
-    return scratch_.start_;
+  /// sched/schedule.hpp). Context and batch evaluations do not touch
+  /// these. Empty before the first such call.
+  std::span<const double> last_start_times() const {
+    return {scratch_.start(), scratch_.nodes_};
   }
-  const std::vector<double>& last_finish_times() const {
-    return scratch_.finish_;
+  std::span<const double> last_finish_times() const {
+    return {scratch_.finish(), scratch_.nodes_};
   }
 
   const std::vector<std::vector<NodeId>>& orders() const { return orders_; }
@@ -181,7 +210,6 @@ class Evaluator {
   /// The flat sweep. Infeasibility is NOT checked here.
   double evaluate_plan(const Mapping& mapping, const WalkPlan& plan,
                        EvalContext& ctx) const;
-  void prepare(EvalContext& ctx) const;
 
   const CostModel* cost_;
   FlatGraph flat_;

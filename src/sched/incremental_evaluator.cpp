@@ -1,6 +1,7 @@
 #include "sched/incremental_evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -823,12 +824,205 @@ double IncrementalEvaluator::plain_suffix_sweep(std::size_t p,
   return run_max;
 }
 
+void IncrementalEvaluator::reconstruct_cur_state(std::size_t p0) {
+  const std::size_t c = p0 / kStride;
+  const double* ck = checkpoints_.data() + c * (s_total_ + m_);
+  std::copy(ck, ck + s_total_, cur_slot_.begin());
+  std::copy(ck + s_total_, ck + s_total_ + m_, cur_link_.begin());
+  // Replay the committed records forward to p0. Every node and source here
+  // precedes p0 in the walk, so its mapping is untouched by the move.
+  const Evaluator::WalkPlan& plan = *plan_;
+  for (std::size_t p = c * kStride; p < p0; ++p) {
+    const Evaluator::PlanNode pn = plan[p];
+    const std::uint32_t u = pn.node;
+    const std::uint32_t d = mapping_.device[u].v;
+    for (std::uint32_t k = pn.in_begin; k < pn.in_end; ++k) {
+      if (!edge_xfer_[k]) continue;
+      cur_link_[mapping_.device[in_src_[k]].v] = edge_arrival_[k];
+      cur_link_[d] = edge_arrival_[k];
+    }
+    if (!streamed_[p]) pop_min_insert(cur_slot_.data(), d, finish_[u]);
+  }
+}
+
+double IncrementalEvaluator::fallback_suffix_sweep(std::size_t p0,
+                                                   double run_max) {
+  // The hot loop of the suffix-sweep probe path. Same arithmetic in the
+  // same order as plain_suffix_sweep / Evaluator::evaluate_plan, but the
+  // overlay is known clean here: a source's time is committed when its
+  // position precedes p0 and this sweep's own output otherwise, so every
+  // read resolves by one position compare and the overlay tags are never
+  // touched. The __restrict locals keep the compiler from reloading
+  // topology tables around the probe_/link state stores.
+  const Evaluator::WalkPlan& plan = *plan_;
+  const std::uint32_t* __restrict in_src = in_src_;
+  const double* __restrict in_mb = in_mb1000_;
+  const double* __restrict exec = exec_;
+  const double* __restrict lat = lat_;
+  const double* __restrict bw = bw_;
+  const double* __restrict fill = fill_;
+  const std::uint8_t* __restrict is_fpga = is_fpga_;
+  const std::size_t* __restrict slot_off = slot_offset_;
+  const std::uint32_t* __restrict posv = pos_.data();
+  const double* __restrict cstart = start_.data();
+  const double* __restrict cfinish = finish_.data();
+  double* __restrict pstart = probe_start_.data();
+  double* __restrict pfinish = probe_finish_.data();
+  double* __restrict slots = cur_slot_.data();
+  double* __restrict links = cur_link_.data();
+  const DeviceId* __restrict dev = mapping_.device.data();
+  const std::uint32_t pos0 = static_cast<std::uint32_t>(p0);
+  const std::size_t m = m_;
+  for (std::size_t p = p0; p < n_; ++p) {
+    const Evaluator::PlanNode pn = plan[p];
+    const std::uint32_t u = pn.node;
+    const std::uint32_t d = dev[u].v;
+    const bool dev_fpga = is_fpga[d] != 0;
+    double ready = 0.0;
+    bool streamed_in = false;
+    for (std::uint32_t k = pn.in_begin; k < pn.in_end; ++k) {
+      const std::uint32_t s = in_src[k];
+      const std::uint32_t ds = dev[s].v;
+      const bool fresh = posv[s] >= pos0;
+      if (ds == d) {
+        if (dev_fpga) {
+          const double s_start = fresh ? pstart[s] : cstart[s];
+          ready = std::max(ready, s_start + fill[d] * exec[s * m + d]);
+          streamed_in = true;
+        } else {
+          ready = std::max(ready, fresh ? pfinish[s] : cfinish[s]);
+        }
+      } else {
+        const double s_fin = fresh ? pfinish[s] : cfinish[s];
+        const std::size_t li = ds * m + d;
+        const double transfer = lat[li] + in_mb[k] / bw[li];
+        const double t_start = std::max({s_fin, links[ds], links[d]});
+        const double arrival = t_start + transfer;
+        links[ds] = arrival;
+        links[d] = arrival;
+        ready = std::max(ready, arrival);
+      }
+    }
+    const double exec_v = exec[pn.exec_offset + d];
+    double start_v;
+    if (streamed_in) {
+      start_v = ready;
+    } else {
+      const std::size_t b = slot_off[d];
+      const std::size_t e = slot_off[d + 1];
+      start_v = std::max(ready, slots[b]);
+      const double fin = start_v + exec_v;
+      // Inline pop-min-insert (drop the span minimum, insert `fin` sorted —
+      // identical result to pop_min_insert): spans are a handful of slots,
+      // so a sequential shift beats the memmove dispatch.
+      std::size_t i = b;
+      for (; i + 1 < e && slots[i + 1] < fin; ++i) slots[i] = slots[i + 1];
+      slots[i] = fin;
+    }
+    pstart[u] = start_v;
+    pfinish[u] = start_v + exec_v;
+    run_max = std::max(run_max, start_v + exec_v);
+  }
+  return run_max;
+}
+
+std::size_t IncrementalEvaluator::replay_window_bound(std::uint32_t node,
+                                                      std::uint32_t from,
+                                                      std::uint32_t to) const {
+  std::size_t last = last_consumer_pos_[node];
+  // Scan the committed use counters from the back: the last block in which
+  // either endpoint device occupies a slot or touches a link extends the
+  // window, and blocks wholly inside the consumer window cannot.
+  for (std::size_t b = blocks_; b-- > 0;) {
+    if (b * kStride + (kStride - 1) <= last) break;
+    const std::uint32_t* su = &block_slot_uses_[b * m_];
+    const std::uint32_t* lu = &block_link_uses_[b * m_];
+    if ((su[from] | su[to] | lu[from] | lu[to]) != 0) {
+      last = std::max(last, b * kStride + (kStride - 1));
+      break;
+    }
+  }
+  return std::min(last, n_ == 0 ? std::size_t(0) : n_ - 1);
+}
+
+bool IncrementalEvaluator::choose_fallback(std::size_t p0, std::uint32_t node,
+                                           std::uint32_t from,
+                                           std::uint32_t to) {
+  switch (probe_mode_) {
+    case ProbeMode::kForceIncremental: return false;
+    case ProbeMode::kForceFallback: return true;
+    case ProbeMode::kAuto: break;
+  }
+  // Warmup: alternate the paths until both estimates have real footing.
+  if (inc_cost_samples_ < kWarmupSamples ||
+      fb_cost_samples_ < kWarmupSamples) {
+    return inc_cost_samples_ > fb_cost_samples_;
+  }
+  // Compare fb_ns_sum_/fb_sfx_sum_ against inc_ns_sum_/inc_sfx_sum_
+  // cross-multiplied (suffix sums are >= 1, so no division), with 10%
+  // hysteresis in favor of the incumbent path: near-equal costs would
+  // otherwise flip the route on every estimate wiggle and pay both paths'
+  // worst-case noise.
+  const double fb_cost = fb_ns_sum_ * inc_sfx_sum_;
+  const double inc_cost = inc_ns_sum_ * fb_sfx_sum_;
+  const bool sweep_wins = prefer_fallback_ ? fb_cost < 1.1 * inc_cost
+                                           : 1.1 * fb_cost < inc_cost;
+  prefer_fallback_ = sweep_wins;
+  // Periodic resample of the losing path so its EMA tracks drift across
+  // applies and resets.
+  if (++probes_since_resample_ >= kResampleEvery) {
+    probes_since_resample_ = 0;
+    return !sweep_wins;
+  }
+  if (!sweep_wins) return false;
+  // Sweep regime. A move whose devices go idle right after its farthest
+  // consumer is still provably cheap — keep it incremental (this reads only
+  // the use counters, before any checkpoint state is rebuilt).
+  const std::size_t suffix = n_ - p0;
+  const std::size_t bound = replay_window_bound(node, from, to);
+  return (bound - p0 + 1) * 4 > suffix;
+}
+
+void IncrementalEvaluator::note_probe_cost(bool fallback, std::size_t suffix,
+                                           double ns) {
+  const double sfx = static_cast<double>(std::max<std::size_t>(1, suffix));
+  // Winsorize: a scheduler preemption or host steal spike landing inside
+  // one probe would otherwise outweigh thousands of honest samples and
+  // poison the path's estimate for a whole decay window. 1 µs per suffix
+  // position is ~20x any real per-position cost, so genuine samples pass
+  // untouched.
+  ns = std::min(ns, sfx * 1000.0);
+  // Exponential forgetting on the aggregates, clocked per path by its own
+  // sample count: old regimes fade, but a single probe never moves an
+  // estimate by more than its own weight.
+  if (fallback) {
+    fb_ns_sum_ += ns;
+    fb_sfx_sum_ += sfx;
+    ++fb_cost_samples_;
+    if (++fb_notes_since_decay_ >= kCostDecayEvery) {
+      fb_notes_since_decay_ = 0;
+      fb_ns_sum_ *= 0.5;
+      fb_sfx_sum_ *= 0.5;
+    }
+  } else {
+    inc_ns_sum_ += ns;
+    inc_sfx_sum_ += sfx;
+    ++inc_cost_samples_;
+    if (++inc_notes_since_decay_ >= kCostDecayEvery) {
+      inc_notes_since_decay_ = 0;
+      inc_ns_sum_ *= 0.5;
+      inc_sfx_sum_ *= 0.5;
+    }
+  }
+}
+
 double IncrementalEvaluator::probe(TaskReassignment move) {
   SPMAP_ASSERT(move.node.v < n_);
   SPMAP_ASSERT(move.device.v < m_);
   ++probe_count_;
   last_replayed_ = 0;
   last_recomputed_ = 0;
+  last_probe_fallback_ = false;
   const std::uint32_t old_dev = mapping_.device[move.node.v].v;
   if (move.device.v == old_dev) return makespan();
 
@@ -851,17 +1045,48 @@ double IncrementalEvaluator::probe(TaskReassignment move) {
     }
   }
 
-  moved_ = move.node.v;
-  moved_old_dev_ = old_dev;
-  const std::size_t p0 = pos_[moved_];
-  reconstruct_state(p0);
-  limit_ = last_consumer_pos_[moved_];
+  const std::size_t p0 = pos_[move.node.v];
   if (++probe_epoch_ == 0) {
     // Tag wrap-around: invalidate all overlay entries, restart at 1.
     std::fill(probe_tag_.begin(), probe_tag_.end(), 0u);
     probe_epoch_ = 1;
   }
   double run_max = p0 == 0 ? 0.0 : prefix_max_[p0 - 1];
+
+  // Auto mode measures each routed probe's wall time to keep the per-path
+  // cost EMAs live; the two clock reads cost ~40 ns against probes that run
+  // microseconds. Results are unaffected — only routing reads the EMAs.
+  const bool timed = probe_mode_ == ProbeMode::kAuto;
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
+
+  if (choose_fallback(p0, move.node.v, old_dev, move.device.v)) {
+    // Suffix-sweep path: resume from the nearest committed checkpoint and
+    // re-simulate the suffix with the plain sweep — no skip machinery, no
+    // base state, no use counters. ~(n - p0) sweep positions total.
+    last_probe_fallback_ = true;
+    ++fb_probes_;
+    reconstruct_cur_state(p0);
+    run_max = fallback_suffix_sweep(p0, run_max);
+    const std::size_t suffix = n_ - p0;
+    fb_swept_total_ += suffix;
+    last_replayed_ = suffix;
+    last_recomputed_ = suffix;
+    if (timed) {
+      note_probe_cost(true, suffix,
+                      std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    }
+    mapping_.device[move.node.v] = DeviceId(old_dev);
+    return over == 0 ? run_max : kInfeasible;
+  }
+
+  ++inc_probes_;
+  moved_ = move.node.v;
+  moved_old_dev_ = old_dev;
+  reconstruct_state(p0);
+  limit_ = last_consumer_pos_[moved_];
 
   const Evaluator::WalkPlan& plan = *plan_;
   std::size_t p = p0;
@@ -895,6 +1120,14 @@ double IncrementalEvaluator::probe(TaskReassignment move) {
     run_max = folded;
   }
 
+  if (timed) {
+    note_probe_cost(false, n_ - p0,
+                    std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  }
+  inc_replayed_total_ += last_replayed_;
+
   // Roll back the scratch marks; the committed state was never touched.
   for (const std::uint32_t v : dirty_list_) timing_dirty_[v] = 0;
   dirty_list_.clear();
@@ -908,7 +1141,7 @@ double IncrementalEvaluator::probe(TaskReassignment move) {
   moved_ = kNoDevice;
   mapping_.device[move.node.v] = DeviceId(old_dev);
 
-  return over == 0 ? (n_ == 0 ? 0.0 : run_max) : kInfeasible;
+  return over == 0 ? run_max : kInfeasible;
 }
 
 void IncrementalEvaluator::undo() {

@@ -42,6 +42,40 @@
 /// exact budget boundary the incrementally maintained area sum is resynced
 /// against `CostModel::mapped_area`, so the verdict cannot drift.
 ///
+/// ## The hybrid probe
+///
+/// Delta re-pricing only pays when the perturbation heals before the walk
+/// ends: every visited position costs ~2-3x a plain sweep position (dual
+/// base/cur state, skip tests, diff refreshes), so on *saturated* configs
+/// where a reassignment cascades through most of the suffix the engine used
+/// to lose to a plain full sweep. `probe()` therefore routes each call
+/// through one of two exact paths:
+///
+///  * **incremental** — the skip-detecting suffix replay described above;
+///  * **suffix sweep** — rebuild the (slot, link) state at the move's
+///    position from the nearest committed checkpoint (at most kStride
+///    committed-record replays, no skip machinery, no use counters) and
+///    re-simulate the suffix with the plain branch-light sweep. Cost is
+///    ~(n - p0) sweep positions, i.e. *half* a full sweep for a uniformly
+///    random move — strictly cheaper than full re-evaluation, with no
+///    delta bookkeeping to lose to.
+///
+/// In `ProbeMode::kAuto` (the default) the engine measures both paths
+/// online: every probe's wall time, normalized per suffix position, feeds a
+/// per-path EMA (replay density — how much of the suffix the incremental
+/// path actually visits — is what drives the difference, and is exposed via
+/// the split replay counters), and each probe takes the path whose EMA
+/// predicts the lower cost. Three refinements keep the decision honest: a
+/// short warmup samples both paths before trusting the EMAs, a probe whose
+/// affected set is provably confined near the move (per-device
+/// remaining-use counters show the move's devices idle afterwards and the
+/// farthest consumer is close) stays incremental regardless of the EMAs,
+/// and every kResampleEvery-th probe re-runs the currently-losing path so
+/// the EMAs track drift across applies and resets. Both paths return
+/// bit-identical values (tests/property_incremental_test.cpp forces each
+/// and compares), so the mode only affects speed, never results. `apply()`
+/// always runs incrementally — it must maintain the committed records.
+///
 /// ## Thread-safety
 ///
 /// An IncrementalEvaluator is mutable state and strictly single-threaded:
@@ -74,6 +108,13 @@ inline TaskReassignment random_reassignment(const Mapping& mapping,
   if (pick >= mapping.device[node.v].v) ++pick;
   return {node, DeviceId(static_cast<std::uint32_t>(pick))};
 }
+
+/// How probe() picks between its two exact evaluation paths.
+enum class ProbeMode {
+  kAuto,              ///< online per-path cost EMAs decide (default)
+  kForceIncremental,  ///< always skip-detecting suffix replay
+  kForceFallback,     ///< always checkpoint-resume + plain suffix sweep
+};
 
 class IncrementalEvaluator {
  public:
@@ -144,6 +185,25 @@ class IncrementalEvaluator {
   /// Positions fully recomputed by the last apply().
   std::size_t last_recomputed() const { return last_recomputed_; }
 
+  /// Selects the probe path (see "The hybrid probe" above). Results are
+  /// bit-identical in every mode; forced modes exist for tests and
+  /// measurement.
+  void set_probe_mode(ProbeMode mode) { probe_mode_ = mode; }
+  ProbeMode probe_mode() const { return probe_mode_; }
+
+  /// True when the most recent probe() took the suffix-sweep path.
+  bool last_probe_fallback() const { return last_probe_fallback_; }
+  /// Non-no-op probes routed through the incremental path (lifetime total).
+  std::size_t incremental_probe_count() const { return inc_probes_; }
+  /// Non-no-op probes routed through the suffix-sweep path (lifetime total).
+  std::size_t fallback_probe_count() const { return fb_probes_; }
+  /// Positions visited by incremental-path probes only — the replay-density
+  /// numerator the hybrid decides on (fallback sweeps excluded, so density
+  /// is not diluted by exactly the probes that bypassed it).
+  std::size_t incremental_replayed_total() const { return inc_replayed_total_; }
+  /// Positions re-simulated by suffix-sweep-path probes.
+  std::size_t fallback_swept_total() const { return fb_swept_total_; }
+
  private:
   /// Sentinel: un-dirtied limit (no pending influence).
   static constexpr std::uint32_t kNoDevice = ~0u;
@@ -151,6 +211,26 @@ class IncrementalEvaluator {
   /// state at an arbitrary position is the nearest checkpoint plus a replay
   /// of at most kStride position records.
   static constexpr std::size_t kStride = 64;
+  /// Auto-mode hybrid tuning. Position counts alone cannot rank the two
+  /// paths — the cost of one replayed position versus one swept position
+  /// varies severalfold with slot-span width and cascade density — so the
+  /// router measures wall time per path. A warmup alternates the two paths
+  /// until each has kWarmupSamples timed probes — committing on fewer
+  /// samples of the heavily bimodal per-probe cost routinely anoints the
+  /// wrong path, and a wrong incumbent is expensive to dethrone because
+  /// challenger evidence accrues at the resample rate. After warmup each
+  /// probe takes the cheaper path and the losing path is re-run every
+  /// kResampleEvery routed probes so its estimate tracks drift. Estimates are decaying aggregate sums, each
+  /// path halved every kCostDecayEvery of its *own* samples so both
+  /// estimates always rest on ~1-2x that many samples no matter how rarely
+  /// the loser runs: per-probe cost is heavily bimodal (a move that heals
+  /// instantly versus one that cascades to the end), so an estimate
+  /// resting on a handful of sparse resamples would swing on single
+  /// outliers and flip the route. The window-bound test keeps provably
+  /// local moves on the incremental path regardless of the estimates.
+  static constexpr std::size_t kWarmupSamples = 32;
+  static constexpr std::size_t kResampleEvery = 64;
+  static constexpr std::size_t kCostDecayEvery = 64;
 
   struct UndoFrame {
     std::uint32_t node = 0;
@@ -210,8 +290,31 @@ class IncrementalEvaluator {
   /// to the end against the cur state only — no skip detection, no base
   /// state, just the plain sweep — and returns the folded makespan. Keeps
   /// a dense-cascade probe near plain full-sweep cost instead of paying
-  /// delta bookkeeping across the whole suffix.
+  /// delta bookkeeping across the whole suffix. Overlay-aware (eff_* reads):
+  /// positions before `p` may hold overlay times from earlier probe_steps.
   double plain_suffix_sweep(std::size_t p, double run_max);
+  /// The suffix-sweep probe path's inner loop: like plain_suffix_sweep but
+  /// entered with a clean overlay (nothing before `p0` was recomputed), so
+  /// source times resolve by position compare — committed below p0, this
+  /// sweep's own output at or above — with no overlay tags written or read.
+  double fallback_suffix_sweep(std::size_t p0, double run_max);
+  /// Rebuilds only the cur (slot, link) state at position `p0` — the
+  /// suffix-sweep path needs no base state and no seen-use counters, so
+  /// this is the slim sibling of reconstruct_state().
+  void reconstruct_cur_state(std::size_t p0);
+  /// Auto-mode routing for one probe of `node` (old device `from`, new
+  /// device `to`, walk position `p0`): true to take the suffix-sweep path.
+  bool choose_fallback(std::size_t p0, std::uint32_t node, std::uint32_t from,
+                       std::uint32_t to);
+  /// Heuristic last position the move can plausibly influence, from the
+  /// committed per-device use counters (checked before any checkpoint is
+  /// touched): the farthest consumer of `node`, extended to the last block
+  /// in which either endpoint device occupies a slot or link. Routing-only —
+  /// a timing cascade may outrun it, which both paths price exactly.
+  std::size_t replay_window_bound(std::uint32_t node, std::uint32_t from,
+                                  std::uint32_t to) const;
+  /// Folds one timed probe into the taken path's cost EMA (auto mode only).
+  void note_probe_cost(bool fallback, std::size_t suffix, double ns);
   /// Effective (overlay-aware) times during a probe.
   double eff_start(std::uint32_t node) const {
     return probe_tag_[node] == probe_epoch_ ? probe_start_[node]
@@ -294,6 +397,30 @@ class IncrementalEvaluator {
   std::size_t probe_count_ = 0;
   std::size_t last_replayed_ = 0;
   std::size_t last_recomputed_ = 0;
+
+  // ---- hybrid probe state ----
+  ProbeMode probe_mode_ = ProbeMode::kAuto;
+  /// Per-path measured cost, kept as decaying sums of wall-ns and of suffix
+  /// length: the router compares the ratios ns_sum/suffix_sum
+  /// (cross-multiplied), an average-cost-per-position estimate over the
+  /// recent probe stream. A ratio of sums, not an average of per-probe
+  /// ratios — per-probe ns/suffix samples spike as 1/suffix for
+  /// late-position moves (fixed costs divided by a tiny suffix).
+  double inc_ns_sum_ = 0.0;
+  double inc_sfx_sum_ = 0.0;
+  double fb_ns_sum_ = 0.0;
+  double fb_sfx_sum_ = 0.0;
+  std::size_t inc_cost_samples_ = 0;  // auto-mode samples folded in
+  std::size_t fb_cost_samples_ = 0;
+  std::size_t inc_notes_since_decay_ = 0;
+  std::size_t fb_notes_since_decay_ = 0;
+  std::size_t probes_since_resample_ = 0;
+  bool prefer_fallback_ = false;  // incumbent path (hysteresis anchor)
+  bool last_probe_fallback_ = false;
+  std::size_t inc_probes_ = 0;
+  std::size_t fb_probes_ = 0;
+  std::size_t inc_replayed_total_ = 0;
+  std::size_t fb_swept_total_ = 0;
 
   // ---- per-apply scratch ----
   std::vector<double> cur_slot_, cur_link_;    // replayed (new) state

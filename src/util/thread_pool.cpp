@@ -1,11 +1,13 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace spmap {
 
 ThreadPool::ThreadPool(std::size_t threads)
-    : thread_count_(std::max<std::size_t>(1, threads)) {
+    : thread_count_(std::max<std::size_t>(1, threads)),
+      errors_(thread_count_) {
   threads_.reserve(thread_count_ - 1);
   for (std::size_t w = 1; w < thread_count_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -35,39 +37,89 @@ std::pair<std::size_t, std::size_t> ThreadPool::partition(std::size_t n,
 void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  run_job(n, 0, fn);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  run_job(n, std::max<std::size_t>(1, chunk), fn);
+}
+
+void ThreadPool::run_share(
+    std::size_t n, std::size_t chunk, std::size_t worker,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  try {
+    if (chunk == 0) {
+      const auto [begin, end] = partition(n, thread_count_, worker);
+      if (begin < end) fn(begin, end, worker);
+    } else {
+      // Chunk c covers [c*chunk, (c+1)*chunk) and belongs to worker
+      // c % thread_count_; each worker walks its chunks in increasing order.
+      for (std::size_t b = worker * chunk; b < n;
+           b += thread_count_ * chunk) {
+        fn(b, std::min(n, b + chunk), worker);
+      }
+    }
+  } catch (...) {
+    errors_[worker] = std::current_exception();
+  }
+}
+
+void ThreadPool::run_job(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  suppressed_count_ = 0;
   if (thread_count_ == 1 || n <= 1) {
-    if (n > 0) fn(0, n, 0);
+    // Inline path: a single worker's exception propagates directly.
+    if (n == 0) return;
+    if (chunk == 0) {
+      fn(0, n, 0);
+    } else {
+      for (std::size_t b = 0; b < n; b += chunk) {
+        fn(b, std::min(n, b + chunk), 0);
+      }
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
     job_n_ = n;
-    error_ = nullptr;
+    job_chunk_ = chunk;
+    errors_.assign(thread_count_, nullptr);
     pending_ = thread_count_ - 1;
     ++job_epoch_;
   }
   work_ready_.notify_all();
 
   // The caller is worker 0.
-  const auto [begin, end] = partition(n, thread_count_, 0);
-  std::exception_ptr caller_error;
-  try {
-    if (begin < end) fn(begin, end, 0);
-  } catch (...) {
-    caller_error = std::current_exception();
-  }
+  run_share(n, chunk, 0, fn);
 
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
-  if (!error_ && caller_error) error_ = caller_error;
-  if (error_) {
-    const std::exception_ptr e = error_;
-    error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(e);
+
+  // Rethrow the lowest-indexed worker's exception (a deterministic pick);
+  // count the rest so they are not dropped silently.
+  std::exception_ptr first;
+  std::size_t thrown = 0;
+  for (std::size_t w = 0; w < thread_count_; ++w) {
+    if (!errors_[w]) continue;
+    if (!first) first = errors_[w];
+    ++thrown;
+    errors_[w] = nullptr;
   }
+  if (!first) return;
+  suppressed_count_ = thrown - 1;
+  lock.unlock();
+  if (suppressed_count_ > 0) {
+    std::fprintf(stderr,
+                 "spmap: ThreadPool: %zu worker exception(s) suppressed "
+                 "(rethrowing the first)\n",
+                 suppressed_count_);
+  }
+  std::rethrow_exception(first);
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
@@ -75,6 +127,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* job;
     std::size_t n;
+    std::size_t chunk;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
@@ -82,17 +135,11 @@ void ThreadPool::worker_loop(std::size_t worker) {
       seen_epoch = job_epoch_;
       job = job_;
       n = job_n_;
+      chunk = job_chunk_;
     }
-    const auto [begin, end] = partition(n, thread_count_, worker);
-    std::exception_ptr err;
-    try {
-      if (begin < end) (*job)(begin, end, worker);
-    } catch (...) {
-      err = std::current_exception();
-    }
+    run_share(n, chunk, worker, *job);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (err && !error_) error_ = err;
       if (--pending_ == 0) work_done_.notify_one();
     }
   }

@@ -1,24 +1,41 @@
 #pragma once
 /// \file thread_pool.hpp
-/// Persistent worker pool with a deterministic parallel_for.
+/// Persistent worker pool with deterministic parallel loops.
 ///
 /// The pool exists for the evaluator's batch API: many independent,
 /// identically-shaped work items (candidate mappings) that each need a
-/// per-worker scratch buffer. Work is split by *static* partitioning —
-/// worker `w` always receives the same contiguous index block for a given
-/// (n, worker_count) — so any computation whose items are independent
-/// produces bit-identical results regardless of the worker count or
-/// scheduling jitter.
+/// per-worker scratch buffer. Work is split deterministically — for a given
+/// (n, worker_count) every worker always receives the same indices — so any
+/// computation whose items are independent produces bit-identical results
+/// regardless of scheduling jitter. Two split shapes exist:
+///
+///  * `parallel_for` — one contiguous block per worker. Lowest dispatch
+///    overhead, but a cost skew across items serializes the batch on the
+///    worker that drew the expensive block.
+///  * `parallel_for_chunks` — fixed-size chunks dealt round-robin (chunk c
+///    goes to worker c % thread_count()). Skewed items spread across all
+///    workers, and because the chunk→worker map depends only on (n, chunk
+///    size), results stay deterministic for every thread count.
 ///
 /// The calling thread participates as worker 0; a pool of `threads == 1`
 /// spawns no OS threads at all and runs everything inline, so serial
 /// callers pay nothing. Worker threads live until the pool is destroyed,
 /// avoiding per-call thread spawn costs in generation loops that dispatch
 /// thousands of small batches.
+///
+/// ## Exceptions
+///
+/// Every worker's exception is caught and collected; after the parallel
+/// region completes, the exception of the lowest-indexed throwing worker is
+/// rethrown on the calling thread (a deterministic choice), the rest are
+/// logged to stderr as a suppressed count and exposed via
+/// `last_suppressed_exception_count()`. Earlier versions kept only one
+/// arbitrary racing winner and silently dropped the rest.
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -42,13 +59,29 @@ class ThreadPool {
   /// Runs `fn(begin, end, worker)` over a static partition of [0, n) into
   /// `thread_count()` contiguous blocks and blocks until all are done.
   /// Worker ids are in [0, thread_count()); the caller runs block 0.
-  /// `fn` must not recurse into the same pool. Exceptions thrown by any
-  /// worker are rethrown (one of them) on the calling thread after the
-  /// parallel region completes.
+  /// `fn` must not recurse into the same pool. See "Exceptions" above.
   void parallel_for(
       std::size_t n,
       const std::function<void(std::size_t begin, std::size_t end,
                                std::size_t worker)>& fn);
+
+  /// Runs `fn(begin, end, worker)` once per chunk of [0, n): chunk c covers
+  /// [c * chunk, min(n, (c+1) * chunk)) and runs on worker c %
+  /// thread_count(), each worker taking its chunks in increasing order.
+  /// The chunk→worker map is a pure function of (n, chunk), so independent
+  /// items give bit-identical results across thread counts. `chunk == 0`
+  /// is promoted to 1. Same contract as parallel_for otherwise.
+  void parallel_for_chunks(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t begin, std::size_t end,
+                               std::size_t worker)>& fn);
+
+  /// Worker exceptions swallowed (not rethrown) by the most recent
+  /// parallel_for/parallel_for_chunks call on this pool: total thrown minus
+  /// the one rethrown. 0 when the last call succeeded.
+  std::size_t last_suppressed_exception_count() const {
+    return suppressed_count_;
+  }
 
   /// Block of worker `w` in the static partition of [0, n) over `workers`.
   static std::pair<std::size_t, std::size_t> partition(std::size_t n,
@@ -57,6 +90,16 @@ class ThreadPool {
 
  private:
   void worker_loop(std::size_t worker);
+  /// Shared dispatch: `chunk == 0` means block mode (parallel_for), else
+  /// chunked round-robin mode.
+  void run_job(std::size_t n, std::size_t chunk,
+               const std::function<void(std::size_t, std::size_t,
+                                        std::size_t)>& fn);
+  /// Runs worker `w`'s share of the current job shape, catching into
+  /// errors_[w].
+  void run_share(std::size_t n, std::size_t chunk, std::size_t worker,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn);
 
   std::size_t thread_count_ = 1;
   std::vector<std::thread> threads_;
@@ -64,14 +107,18 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  // Job state, guarded by mutex_.
+  // Job state, guarded by mutex_. errors_ has one slot per worker, each
+  // written only by its owner while the job runs (read by the caller after
+  // the job completes), so the first-thrower choice cannot race.
   const std::function<void(std::size_t, std::size_t, std::size_t)>* job_ =
       nullptr;
   std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 0;    // 0 = block mode
   std::uint64_t job_epoch_ = 0;  // bumped per parallel_for call
   std::size_t pending_ = 0;      // workers still running the current job
   bool stop_ = false;
-  std::exception_ptr error_;
+  std::vector<std::exception_ptr> errors_;
+  std::size_t suppressed_count_ = 0;
 };
 
 }  // namespace spmap

@@ -5,6 +5,12 @@
 /// times and area-feasibility verdicts — after every single apply/undo.
 /// Well over 1000 randomized cases run across the parameter grid (a case =
 /// one apply or undo followed by the three-way comparison).
+///
+/// The grid spans both the paper platform and the wide manycore platform,
+/// and every hybrid probe mode: kAuto (online routing), kForceIncremental
+/// and kForceFallback. Agreement in the forced modes proves each probe path
+/// is bit-identical on its own, not just whichever one the router happens
+/// to pick.
 
 #include <gtest/gtest.h>
 
@@ -22,12 +28,16 @@ struct IncCase {
   std::size_t extra_edges;
   std::size_t moves;
   std::uint64_t seed;
+  bool wide = false;  // wide manycore platform instead of the paper one
+  ProbeMode mode = ProbeMode::kAuto;
 };
 
 class IncrementalProperty : public ::testing::TestWithParam<IncCase> {
  protected:
   IncrementalProperty()
-      : rng_(GetParam().seed), platform_(reference_platform()) {
+      : rng_(GetParam().seed),
+        platform_(GetParam().wide ? manycore_platform()
+                                  : reference_platform()) {
     Dag base = generate_sp_dag(GetParam().nodes, rng_);
     dag_ = add_random_edges(base, GetParam().extra_edges, rng_);
     attrs_ = random_task_attrs(dag_, rng_);
@@ -68,6 +78,7 @@ class IncrementalProperty : public ::testing::TestWithParam<IncCase> {
 
 TEST_P(IncrementalProperty, RandomWalkAgreesAfterEveryApplyAndUndo) {
   IncrementalEvaluator inc(*eval_);
+  inc.set_probe_mode(GetParam().mode);
   Mapping current = random_feasible_mapping(*cost_, rng_);
   inc.reset(current);
   expect_agreement(inc, current);
@@ -112,6 +123,7 @@ TEST_P(IncrementalProperty, RandomWalkAgreesAfterEveryApplyAndUndo) {
 
 TEST_P(IncrementalProperty, ProbeLeavesStateUntouched) {
   IncrementalEvaluator inc(*eval_);
+  inc.set_probe_mode(GetParam().mode);
   const Mapping mapping = random_feasible_mapping(*cost_, rng_);
   inc.reset(mapping);
   const double before = inc.makespan();
@@ -130,6 +142,7 @@ TEST_P(IncrementalProperty, ProbeLeavesStateUntouched) {
 
 TEST_P(IncrementalProperty, CommitKeepsStateAndClearsHistory) {
   IncrementalEvaluator inc(*eval_);
+  inc.set_probe_mode(GetParam().mode);
   Mapping current = random_feasible_mapping(*cost_, rng_);
   inc.reset(current);
   for (std::size_t i = 0; i < 10; ++i) {
@@ -145,17 +158,39 @@ TEST_P(IncrementalProperty, CommitKeepsStateAndClearsHistory) {
   EXPECT_THROW(inc.undo(), Error);
 }
 
+constexpr ProbeMode kInc = ProbeMode::kForceIncremental;
+constexpr ProbeMode kFb = ProbeMode::kForceFallback;
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, IncrementalProperty,
-    ::testing::Values(IncCase{2, 0, 30, 41}, IncCase{8, 0, 60, 42},
-                      IncCase{8, 4, 60, 43}, IncCase{25, 0, 80, 44},
-                      IncCase{25, 12, 80, 45}, IncCase{60, 0, 120, 46},
-                      IncCase{60, 30, 120, 47}, IncCase{120, 60, 160, 48},
-                      IncCase{250, 50, 200, 49}, IncCase{500, 0, 220, 50}),
+    ::testing::Values(
+        // Paper platform, auto routing (the production configuration).
+        IncCase{2, 0, 30, 41}, IncCase{8, 0, 60, 42}, IncCase{8, 4, 60, 43},
+        IncCase{25, 0, 80, 44}, IncCase{25, 12, 80, 45},
+        IncCase{60, 0, 120, 46}, IncCase{60, 30, 120, 47},
+        IncCase{120, 60, 160, 48}, IncCase{250, 50, 200, 49},
+        IncCase{500, 0, 220, 50},
+        // Wide manycore platform, auto routing.
+        IncCase{25, 12, 80, 51, true}, IncCase{60, 30, 120, 52, true},
+        IncCase{250, 50, 200, 53, true}, IncCase{500, 0, 220, 54, true},
+        // Forced modes: each probe path must be exact on its own, on both
+        // platforms, dense and sparse graphs alike.
+        IncCase{60, 30, 120, 55, false, kFb},
+        IncCase{120, 60, 160, 56, false, kFb},
+        IncCase{500, 0, 220, 57, false, kFb},
+        IncCase{120, 60, 160, 58, false, kInc},
+        IncCase{60, 30, 120, 59, true, kFb},
+        IncCase{250, 50, 200, 60, true, kFb},
+        IncCase{250, 50, 200, 61, true, kInc},
+        IncCase{500, 0, 220, 62, true, kInc}),
     [](const ::testing::TestParamInfo<IncCase>& info) {
+      const char* mode = info.param.mode == kInc  ? "_finc"
+                         : info.param.mode == kFb ? "_ffb"
+                                                  : "";
       return "n" + std::to_string(info.param.nodes) + "_e" +
              std::to_string(info.param.extra_edges) + "_s" +
-             std::to_string(info.param.seed);
+             std::to_string(info.param.seed) +
+             (info.param.wide ? "_wide" : "") + mode;
     });
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace spmap {
@@ -82,6 +84,94 @@ TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
     count += end - begin;
   });
   EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(ThreadPool, TwoThrowingWorkersRethrowFirstCountRest) {
+  ThreadPool pool(4);
+  // Workers 1..3 each throw an exception naming their lowest index; the
+  // caller (worker 0) succeeds. The lowest-indexed thrower must win
+  // deterministically and the other two must be counted, not dropped.
+  try {
+    pool.parallel_for(4, [&](std::size_t, std::size_t, std::size_t worker) {
+      if (worker > 0) {
+        throw std::runtime_error("worker " + std::to_string(worker));
+      }
+    });
+    FAIL() << "expected a rethrown worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 1");
+  }
+  EXPECT_EQ(pool.last_suppressed_exception_count(), 2u);
+  // A subsequent clean region resets the counter and the pool stays usable.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(50, [&](std::size_t begin, std::size_t end,
+                            std::size_t /*worker*/) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 50u);
+  EXPECT_EQ(pool.last_suppressed_exception_count(), 0u);
+}
+
+TEST(ThreadPool, CallerExceptionBeatsWorkerException) {
+  ThreadPool pool(2);
+  // Worker 0 is the caller; its exception has the lowest index and must be
+  // the one rethrown even when worker 1 also throws.
+  try {
+    pool.parallel_for(2, [&](std::size_t, std::size_t, std::size_t worker) {
+      throw std::runtime_error("worker " + std::to_string(worker));
+    });
+    FAIL() << "expected a rethrown exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 0");
+  }
+  EXPECT_EQ(pool.last_suppressed_exception_count(), 1u);
+}
+
+TEST(ThreadPool, ChunksVisitEveryIndexOnceInWorkerOrder) {
+  for (const std::size_t threads : {1u, 2u, 4u, 9u}) {
+    for (const std::size_t chunk : {1u, 3u, 8u, 50u, 5000u}) {
+      ThreadPool pool(threads);
+      const std::size_t n = 1234;
+      std::vector<int> hits(n, 0);
+      std::vector<std::size_t> owner(n, ~std::size_t{0});
+      std::mutex mu;
+      pool.parallel_for_chunks(
+          n, chunk,
+          [&](std::size_t begin, std::size_t end, std::size_t worker) {
+            EXPECT_LT(worker, pool.thread_count());
+            EXPECT_LE(end, n);
+            EXPECT_LE(end - begin, chunk);
+            std::lock_guard<std::mutex> lock(mu);
+            for (std::size_t i = begin; i < end; ++i) {
+              ++hits[i];
+              owner[i] = worker;
+            }
+          });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+                static_cast<int>(n));
+      EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+      // Deterministic map: index i belongs to chunk i/chunk, which belongs
+      // to worker (i/chunk) % thread_count.
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(owner[i], (i / chunk) % pool.thread_count());
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkZeroPromotedToOne) {
+  ThreadPool pool(3);
+  const std::size_t n = 17;
+  std::vector<int> hits(n, 0);
+  std::mutex mu;
+  pool.parallel_for_chunks(n, 0, [&](std::size_t begin, std::size_t end,
+                                     std::size_t /*worker*/) {
+    EXPECT_EQ(end - begin, 1u);
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
 }
 
 }  // namespace
