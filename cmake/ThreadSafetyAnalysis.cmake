@@ -1,0 +1,62 @@
+# Clang Thread Safety Analysis wiring for SPMAP_THREAD_SAFETY_ANALYSIS=ON.
+#
+# Adds -Wthread-safety -Werror=thread-safety to every target, then runs a
+# two-sided compile-fail check at configure time:
+#
+#   * tests/compile_fail/guarded_ok.cpp  — correctly locked access; MUST
+#     compile (the positive control that proves the harness itself works).
+#   * tests/compile_fail/guarded_bad.cpp — the same code minus the lock;
+#     MUST fail, proving an unguarded access really breaks the build and
+#     the annotation macros have not silently degraded to no-ops.
+#
+# Either side going the wrong way is a FATAL_ERROR: a broken harness that
+# "passes" would let the whole annotation layer rot unnoticed.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+    "SPMAP_THREAD_SAFETY_ANALYSIS=ON requires clang: gcc/msvc compile the "
+    "annotation macros to nothing, so the option would silently check "
+    "nothing. Configure with clang++ or drop the option.")
+endif()
+
+add_compile_options(-Wthread-safety -Werror=thread-safety)
+
+set(_spmap_tsa_flags "-Wthread-safety -Werror=thread-safety")
+
+try_compile(SPMAP_TSA_POSITIVE_OK
+  ${CMAKE_BINARY_DIR}/compile_fail/guarded_ok
+  ${CMAKE_CURRENT_SOURCE_DIR}/tests/compile_fail/guarded_ok.cpp
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_FLAGS:STRING=${_spmap_tsa_flags}"
+  CXX_STANDARD 20
+  CXX_STANDARD_REQUIRED ON
+  OUTPUT_VARIABLE _spmap_tsa_positive_log)
+
+if(NOT SPMAP_TSA_POSITIVE_OK)
+  message(FATAL_ERROR
+    "thread-safety compile-fail harness broken: the positive control "
+    "tests/compile_fail/guarded_ok.cpp does not compile under "
+    "-Werror=thread-safety.\n${_spmap_tsa_positive_log}")
+endif()
+
+try_compile(SPMAP_TSA_NEGATIVE_COMPILED
+  ${CMAKE_BINARY_DIR}/compile_fail/guarded_bad
+  ${CMAKE_CURRENT_SOURCE_DIR}/tests/compile_fail/guarded_bad.cpp
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_FLAGS:STRING=${_spmap_tsa_flags}"
+  CXX_STANDARD 20
+  CXX_STANDARD_REQUIRED ON
+  OUTPUT_VARIABLE _spmap_tsa_negative_log)
+
+if(SPMAP_TSA_NEGATIVE_COMPILED)
+  message(FATAL_ERROR
+    "thread-safety annotations are not enforcing anything: the unguarded "
+    "access in tests/compile_fail/guarded_bad.cpp compiled under "
+    "-Werror=thread-safety. Check the macro gate in "
+    "src/util/thread_annotations.hpp.")
+endif()
+
+message(STATUS
+  "Thread safety analysis: -Werror=thread-safety on, compile-fail check ok")

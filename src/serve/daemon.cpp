@@ -83,6 +83,10 @@ std::size_t generate_count(const Json& spec, const char* key,
 }  // namespace
 
 Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  // Construction is single-threaded and happens-before run() by the
+  // usual object-publication rules, so the constructing thread holds the
+  // IO role for the duration (covers token_rng_ and init_journal()).
+  ScopedThreadRole io(io_role_);
   if (options_.cache_entries > 0) {
     ResultCacheOptions cache_options;
     cache_options.max_entries = options_.cache_entries;
@@ -120,12 +124,17 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
 }
 
 Daemon::~Daemon() {
+  // Join the workers FIRST (the service destructor drains them): their
+  // on_terminal callbacks poke the wake pipe via push_event(), so closing
+  // the pipe before the join is a write-after-close race — and worse if
+  // the fd number gets recycled in between. jobs_ only holds handles, so
+  // destroying the service ahead of the member teardown is safe. (Found
+  // by the TSan tier; regression: ServeDaemon.DestructionWithJobsInFlight.)
+  service_.reset();
   int expected = wake_write_;
   g_signal_wake_fd.compare_exchange_strong(expected, -1);
   if (wake_read_ >= 0) ::close(wake_read_);
   if (wake_write_ >= 0) ::close(wake_write_);
-  // service_ destructs last-ish: jobs_ holds handles only, and the
-  // service destructor drains and joins its workers.
 }
 
 void Daemon::bind() {
@@ -273,7 +282,7 @@ void Daemon::wake() const {
 
 void Daemon::push_event(Event event) {
   {
-    std::lock_guard<std::mutex> lock(events_mutex_);
+    MutexLock lock(events_mutex_);
     events_.push_back(std::move(event));
   }
   wake();
@@ -282,7 +291,7 @@ void Daemon::push_event(Event event) {
 void Daemon::process_events() {
   std::deque<Event> batch;
   {
-    std::lock_guard<std::mutex> lock(events_mutex_);
+    MutexLock lock(events_mutex_);
     batch.swap(events_);
   }
   for (const Event& event : batch) handle_event(event);
@@ -963,6 +972,10 @@ void Daemon::start_drain(double now) {
 }
 
 int Daemon::run() {
+  // This thread IS the IO thread for the daemon's lifetime: every
+  // io_role_-guarded table below is touched only from this frame and
+  // its callees.
+  ScopedThreadRole io(io_role_);
   require(listener_.has_value(), "Daemon::run() before bind()");
   if (options_.install_signal_handlers) {
     g_signal_wake_fd.store(wake_write_, std::memory_order_relaxed);

@@ -67,7 +67,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -77,6 +76,7 @@
 #include "serve/mapping_service.hpp"
 #include "serve/session.hpp"
 #include "serve/wire.hpp"
+#include "util/mutex.hpp"
 #include "util/socket.hpp"
 #include "util/timer.hpp"
 
@@ -158,18 +158,28 @@ class Daemon : public SessionHost {
   const std::shared_ptr<ResultCache>& result_cache() const { return cache_; }
 
   // ---- SessionHost (IO thread only) ----
+  // The overrides carry SPMAP_REQUIRES(io_role_): daemon-internal calls
+  // are compiler-checked to happen on the IO thread. Calls through the
+  // SessionHost base (the Session FSM) are outside the analysis — the
+  // Session itself lives in the IO thread's Conn table, so they cannot
+  // run anywhere else.
   SubmitOutcome submit(std::uint64_t session,
-                       const WireSubmit& request) override;
-  std::optional<Json> job_status(std::uint64_t job) override;
-  bool cancel_job(std::uint64_t job) override;
-  bool subscribe(std::uint64_t session, std::uint64_t job) override;
+                       const WireSubmit& request) override
+      SPMAP_REQUIRES(io_role_);
+  std::optional<Json> job_status(std::uint64_t job) override
+      SPMAP_REQUIRES(io_role_);
+  bool cancel_job(std::uint64_t job) override SPMAP_REQUIRES(io_role_);
+  bool subscribe(std::uint64_t session, std::uint64_t job) override
+      SPMAP_REQUIRES(io_role_);
   void begin_drain(double grace_ms) override;
-  bool draining() const override;
+  bool draining() const override SPMAP_REQUIRES(io_role_);
   Json server_info() const override;
   Json stats_body() const override;
-  std::string register_session(std::uint64_t session) override;
+  std::string register_session(std::uint64_t session) override
+      SPMAP_REQUIRES(io_role_);
   ResumeOutcome resume_session(std::uint64_t conn, const std::string& token,
-                               std::uint64_t last_seq) override;
+                               std::uint64_t last_seq) override
+      SPMAP_REQUIRES(io_role_);
 
  private:
   /// One accepted connection: socket, protocol FSM, buffers.
@@ -222,83 +232,103 @@ class Daemon : public SessionHost {
   };
 
   void wake() const;
-  void push_event(Event event);
-  void process_events();
-  void handle_event(const Event& event);
+  /// Worker-thread side of the handoff: event queue + self-pipe only —
+  /// the one daemon entry point that must NOT hold the IO role.
+  void push_event(Event event) SPMAP_EXCLUDES(events_mutex_);
+  void process_events() SPMAP_REQUIRES(io_role_)
+      SPMAP_EXCLUDES(events_mutex_);
+  void handle_event(const Event& event) SPMAP_REQUIRES(io_role_);
 
-  void accept_clients(double now);
-  void conn_readable(std::uint64_t id, Conn& conn, double now);
+  void accept_clients(double now) SPMAP_REQUIRES(io_role_);
+  void conn_readable(std::uint64_t id, Conn& conn, double now)
+      SPMAP_REQUIRES(io_role_);
   /// Appends lines and flushes; false when the connection died.
-  bool enqueue_lines(Conn& conn, const std::vector<std::string>& lines);
-  bool flush_outbuf(Conn& conn);
-  void reap_connections(double now);
+  bool enqueue_lines(Conn& conn, const std::vector<std::string>& lines)
+      SPMAP_REQUIRES(io_role_);
+  bool flush_outbuf(Conn& conn) SPMAP_REQUIRES(io_role_);
+  void reap_connections(double now) SPMAP_REQUIRES(io_role_);
 
-  void start_drain(double now);
+  void start_drain(double now) SPMAP_REQUIRES(io_role_);
   /// Graduated per-class admission bound (see the header comment).
   std::size_t class_capacity(int priority) const;
 
   std::shared_ptr<const TaskGraph> resolve_graph(const WireSubmit& request);
   std::shared_ptr<const Platform> resolve_platform(const WireSubmit& request);
-  Json status_body(std::uint64_t id, const JobEntry& entry) const;
+  Json status_body(std::uint64_t id, const JobEntry& entry) const
+      SPMAP_REQUIRES(io_role_);
 
   /// Assigns `event_seq`, appends to the session's backlog, and sends the
   /// line when the session has an attached live connection.
   void send_event(std::uint64_t session, const std::string& event,
-                  Json body);
+                  Json body) SPMAP_REQUIRES(io_role_);
   /// Registers a terminal job in the retention FIFO, evicting past the
   /// retention bound.
-  void retain_completed(std::uint64_t job);
+  void retain_completed(std::uint64_t job) SPMAP_REQUIRES(io_role_);
   /// Drops detached sessions whose resume window closed.
-  void expire_sessions(double now);
+  void expire_sessions(double now) SPMAP_REQUIRES(io_role_);
 
   // ---- journal (all IO-thread; no-ops when the journal is off) ----
   /// Replays `journal_path`, restores terminal jobs, re-enqueues
   /// unfinished ones, and opens (compacted) for append.
-  void init_journal();
+  void init_journal() SPMAP_REQUIRES(io_role_);
   /// Appends one record, logging instead of failing the daemon: a broken
   /// journal degrades to re-execution after restart, never lost jobs.
-  void journal_append(const Json& record, bool sync);
+  void journal_append(const Json& record, bool sync)
+      SPMAP_REQUIRES(io_role_);
   /// Rewrites the journal as one submitted(+started/terminal) record per
   /// retained job, bounding the file by the completed retention.
-  void compact_journal();
+  void compact_journal() SPMAP_REQUIRES(io_role_);
   Json submitted_record(std::uint64_t id, const JobEntry& entry) const;
 
   void logf(const char* fmt, ...) const;
 
+  /// "Workers only touch the event queue": everything below tagged
+  /// SPMAP_GUARDED_BY(io_role_) is owned by the thread inside run() — the
+  /// single-owner-IO contract of the header, now compiler-checked. The
+  /// constructor and bind() hold the role too (single-threaded setup
+  /// precedes run() by contract).
+  ThreadRole io_role_;
+
   DaemonOptions options_;
   std::shared_ptr<ResultCache> cache_;  ///< null when caching is off
   std::unique_ptr<MappingService> service_;
+  /// Set by bind(), shape-stable afterwards; endpoint() reads const data
+  /// through it from any thread, the IO loop owns its mutable socket
+  /// state. Not role-guarded for that one cross-thread endpoint() read.
   std::optional<ListenSocket> listener_;
   int wake_read_ = -1;
   int wake_write_ = -1;
 
   WallTimer clock_;  ///< the IO loop's monotonic time base (seconds)
 
-  std::map<std::uint64_t, Conn> conns_;
-  std::uint64_t next_session_id_ = 1;
+  std::map<std::uint64_t, Conn> conns_ SPMAP_GUARDED_BY(io_role_);
+  std::uint64_t next_session_id_ SPMAP_GUARDED_BY(io_role_) = 1;
 
   /// Resumable sessions keyed by session id (== the id of the connection
   /// that helloed them; a resumed session keeps its id across conns).
-  std::map<std::uint64_t, SessionRecord> sessions_;
-  Rng token_rng_;
-  double last_session_sweep_s_ = 0.0;
+  std::map<std::uint64_t, SessionRecord> sessions_ SPMAP_GUARDED_BY(io_role_);
+  Rng token_rng_ SPMAP_GUARDED_BY(io_role_);
+  double last_session_sweep_s_ SPMAP_GUARDED_BY(io_role_) = 0.0;
 
-  std::map<std::uint64_t, JobEntry> jobs_;
-  std::deque<std::uint64_t> completed_order_;  ///< retention FIFO
-  std::uint64_t next_job_id_ = 1;
-  std::size_t outstanding_ = 0;  ///< submitted, not yet terminal
+  std::map<std::uint64_t, JobEntry> jobs_ SPMAP_GUARDED_BY(io_role_);
+  std::deque<std::uint64_t> completed_order_
+      SPMAP_GUARDED_BY(io_role_);  ///< retention FIFO
+  std::uint64_t next_job_id_ SPMAP_GUARDED_BY(io_role_) = 1;
+  std::size_t outstanding_
+      SPMAP_GUARDED_BY(io_role_) = 0;  ///< submitted, not yet terminal
 
-  std::unique_ptr<Journal> journal_;  ///< null when journaling is off
+  std::unique_ptr<Journal> journal_
+      SPMAP_GUARDED_BY(io_role_);  ///< null when journaling is off
 
-  std::mutex events_mutex_;
-  std::deque<Event> events_;
+  Mutex events_mutex_;
+  std::deque<Event> events_ SPMAP_GUARDED_BY(events_mutex_);
 
   std::atomic<bool> drain_requested_{false};
   std::atomic<double> requested_grace_ms_{-1.0};
-  bool draining_ = false;
-  bool cancelled_in_flight_ = false;
-  double grace_deadline_s_ = 0.0;
-  double hard_deadline_s_ = 0.0;
+  bool draining_ SPMAP_GUARDED_BY(io_role_) = false;
+  bool cancelled_in_flight_ SPMAP_GUARDED_BY(io_role_) = false;
+  double grace_deadline_s_ SPMAP_GUARDED_BY(io_role_) = 0.0;
+  double hard_deadline_s_ SPMAP_GUARDED_BY(io_role_) = 0.0;
 
   std::shared_ptr<const Platform> reference_platform_;
 };

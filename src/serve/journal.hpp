@@ -49,7 +49,12 @@
 /// ## Thread-safety
 ///
 /// None. The daemon writes from its IO thread only; replay happens
-/// before the IO loop starts.
+/// before the IO loop starts. That single-owner contract is machine
+/// checked, not just prose: the daemon's `journal_` member is declared
+/// `SPMAP_GUARDED_BY(io_role_)` (see src/serve/daemon.hpp and the
+/// `ThreadRole` capability in src/util/mutex.hpp), so any code path
+/// reaching the journal off the IO thread fails to compile under
+/// `-Werror=thread-safety`.
 
 #include <cstdint>
 #include <cstdio>

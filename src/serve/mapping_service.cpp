@@ -10,6 +10,7 @@
 #include "sched/problem_hash.hpp"
 #include "serve/result_cache.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace spmap {
@@ -72,6 +73,8 @@ struct MappingService::CachePlan {
 /// per-job mutex/cv keeps handle operations independent of the service's
 /// queue lock (a wait() never blocks submissions).
 struct MappingService::JobState {
+  // Immutable after submit (id/job/request/rng/plan set once, then only
+  // read): no guard needed. `request.cancel` is internally atomic.
   std::uint64_t id = 0;
   MapJob job;
   MapRequest request;
@@ -79,24 +82,32 @@ struct MappingService::JobState {
   std::optional<CachePlan> cache_plan;
   CacheOutcome cache_outcome = CacheOutcome::kNone;
 
-  mutable std::mutex mutex;
-  std::condition_variable terminal;
-  JobStatus status = JobStatus::kQueued;
-  MapJobResult result;
+  mutable Mutex mutex;
+  CondVar terminal;
+  JobStatus status SPMAP_GUARDED_BY(mutex) = JobStatus::kQueued;
+  MapJobResult result SPMAP_GUARDED_BY(mutex);
   /// Guards the exactly-once `MapJob::on_terminal` invocation (the worker
   /// path and the queued-cancel path race for it).
-  bool terminal_notified = false;
+  bool terminal_notified SPMAP_GUARDED_BY(mutex) = false;
 
-  bool is_terminal_locked() const {
+  bool is_terminal_locked() const SPMAP_REQUIRES(mutex) {
     return status == JobStatus::kDone || status == JobStatus::kFailed ||
            status == JobStatus::kCancelled;
   }
 
-  /// Claims the one on_terminal invocation; call under `mutex`.
-  bool claim_terminal_notification_locked() {
+  /// Claims the one on_terminal invocation.
+  bool claim_terminal_notification_locked() SPMAP_REQUIRES(mutex) {
     if (terminal_notified) return false;
     terminal_notified = true;
     return job.on_terminal != nullptr;
+  }
+
+  /// The result of a job that already turned terminal. Terminal status is
+  /// a one-way latch and no writer touches `result` past it (the
+  /// invariant every terminal-notification caller relies on), so handing
+  /// out the reference for lock-free reads is sound.
+  const MapJobResult& terminal_result_locked() const SPMAP_REQUIRES(mutex) {
+    return result;
   }
 };
 
@@ -112,7 +123,7 @@ MappingService::MappingService(Options options) : options_(options) {
 
 MappingService::~MappingService() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -207,19 +218,21 @@ std::optional<MappingService::JobHandle> MappingService::submit_locked(
       state->status = JobStatus::kDone;
       state->cache_outcome = CacheOutcome::kHit;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         state->id = next_id_++;
         ++counters_.submitted;
         ++counters_.done;
         ++counters_.cache_hits;
       }
       bool fire = false;
+      const MapJobResult* published = nullptr;
       {
-        std::unique_lock<std::mutex> job_lock(state->mutex);
+        MutexLock job_lock(state->mutex);
         fire = state->claim_terminal_notification_locked();
+        published = &state->terminal_result_locked();
       }
       if (fire) {
-        state->job.on_terminal(state->id, JobStatus::kDone, state->result);
+        state->job.on_terminal(state->id, JobStatus::kDone, *published);
       }
       return JobHandle(state);
     }
@@ -260,11 +273,10 @@ std::optional<MappingService::JobHandle> MappingService::submit_locked(
   // every job submitted with it.
   state->request.cancel = state->request.cancel.child();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (options_.max_queued > 0 && queued_count_ >= options_.max_queued) {
       if (may_block) {
-        queue_space_.wait(
-            lock, [this] { return queued_count_ < options_.max_queued; });
+        while (queued_count_ >= options_.max_queued) queue_space_.wait(lock);
       } else {
         ++counters_.rejected;
         (void)may_reject;
@@ -292,12 +304,12 @@ std::optional<MappingService::JobHandle> MappingService::submit_locked(
 }
 
 void MappingService::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_done_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(mutex_);
+  while (unfinished_ != 0) job_done_.wait(lock);
 }
 
 ServiceStats MappingService::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ServiceStats snapshot;
   snapshot.submitted = counters_.submitted.load(std::memory_order_relaxed);
   snapshot.rejected = counters_.rejected.load(std::memory_order_relaxed);
@@ -318,9 +330,8 @@ void MappingService::worker_loop() {
     std::shared_ptr<JobState> state;
     bool run = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock,
-                       [this] { return stopping_ || queued_count_ != 0; });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queued_count_ == 0) work_ready_.wait(lock);
       if (queued_count_ == 0) return;  // stopping and drained
       // Highest waiting priority first (queues_ is ordered descending),
       // FIFO within one priority.
@@ -335,7 +346,7 @@ void MappingService::worker_loop() {
       // status lock is safe — no path acquires mutex_ while holding a job
       // mutex.
       {
-        std::unique_lock<std::mutex> job_lock(state->mutex);
+        MutexLock job_lock(state->mutex);
         if (state->status == JobStatus::kQueued) {
           state->status = JobStatus::kRunning;
           run = true;
@@ -355,7 +366,7 @@ void MappingService::worker_loop() {
     if (run) {
       if (state->job.on_start) state->job.on_start(state->id);
       const JobStatus final_status = execute(*state);
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --counters_.running;
       if (final_status == JobStatus::kFailed) {
         ++counters_.failed;
@@ -366,7 +377,7 @@ void MappingService::worker_loop() {
 
     bool drained = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       drained = --unfinished_ == 0;
     }
     if (drained) job_done_.notify_all();
@@ -443,15 +454,18 @@ JobStatus MappingService::execute(JobState& state) {
   }
 
   bool fire = false;
+  const MapJobResult* published = nullptr;
   {
-    std::unique_lock<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     state.result = std::move(result);
     state.status = final_status;
     fire = state.claim_terminal_notification_locked();
+    published = &state.terminal_result_locked();
   }
   // Outside the job lock: the callback may touch the handle or service.
-  // No writer mutates result/status after a job turns terminal.
-  if (fire) state.job.on_terminal(state.id, final_status, state.result);
+  // No writer mutates result/status after a job turns terminal (the
+  // terminal_result_locked contract).
+  if (fire) state.job.on_terminal(state.id, final_status, *published);
   return final_status;
 }
 
@@ -463,13 +477,13 @@ std::uint64_t MappingService::JobHandle::id() const {
 
 JobStatus MappingService::JobHandle::status() const {
   if (state_ == nullptr) return JobStatus::kFailed;
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->status;
 }
 
 bool MappingService::JobHandle::done() const {
   if (state_ == nullptr) return true;
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->is_terminal_locked();
 }
 
@@ -477,8 +491,9 @@ void MappingService::JobHandle::cancel() const {
   if (state_ == nullptr) return;
   bool became_terminal = false;
   bool fire = false;
+  const MapJobResult* published = nullptr;
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (state_->status == JobStatus::kQueued) {
       // The worker that eventually pops this state sees a non-queued
       // status and skips execution.
@@ -486,30 +501,35 @@ void MappingService::JobHandle::cancel() const {
       state_->result.error = "cancelled before execution";
       became_terminal = true;
       fire = state_->claim_terminal_notification_locked();
+      published = &state_->terminal_result_locked();
     }
   }
   // Outside the job lock: the running mapper polls this token.
   state_->request.cancel.request_cancel();
   if (became_terminal) state_->terminal.notify_all();
   if (fire) {
-    state_->job.on_terminal(state_->id, JobStatus::kCancelled,
-                            state_->result);
+    state_->job.on_terminal(state_->id, JobStatus::kCancelled, *published);
   }
 }
 
 const MapJobResult& MappingService::JobHandle::wait() const& {
   require(state_ != nullptr, "JobHandle::wait on an empty handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->terminal.wait(lock, [this] { return state_->is_terminal_locked(); });
-  return state_->result;
+  MutexLock lock(state_->mutex);
+  while (!state_->is_terminal_locked()) state_->terminal.wait(lock);
+  return state_->terminal_result_locked();
 }
 
 bool MappingService::JobHandle::wait_for(double timeout_ms) const {
   if (state_ == nullptr) return true;
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  return state_->terminal.wait_for(
-      lock, std::chrono::duration<double, std::milli>(timeout_ms),
-      [this] { return state_->is_terminal_locked(); });
+  const auto deadline = deadline_after_ms(timeout_ms);
+  MutexLock lock(state_->mutex);
+  while (!state_->is_terminal_locked()) {
+    if (state_->terminal.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      return state_->is_terminal_locked();
+    }
+  }
+  return true;
 }
 
 }  // namespace spmap

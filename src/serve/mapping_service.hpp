@@ -81,7 +81,6 @@
 /// changes the computation relative to the key).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -98,6 +97,7 @@
 #include "model/cost_model.hpp"
 #include "model/platform.hpp"
 #include "sched/evaluator.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace spmap {
@@ -339,18 +339,22 @@ class MappingService {
     std::atomic<std::size_t> cache_warm{0};
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;   // workers wait for jobs / stop
-  std::condition_variable job_done_;     // waiters in wait_all
-  std::condition_variable queue_space_;  // blocked submitters (kBlock)
+  mutable Mutex mutex_;
+  CondVar work_ready_;   // workers wait for jobs / stop
+  CondVar job_done_;     // waiters in wait_all
+  CondVar queue_space_;  // blocked submitters (kBlock)
   /// Waiting jobs by priority, highest served first, FIFO within one.
   std::map<int, std::deque<std::shared_ptr<JobState>>, std::greater<int>>
-      queues_;
-  std::size_t queued_count_ = 0;  // entries across queues_
-  Counters counters_;             // ServiceStats::queued = queued_count_
-  std::uint64_t next_id_ = 0;
-  std::size_t unfinished_ = 0;  // submitted jobs not yet terminal
-  bool stopping_ = false;
+      queues_ SPMAP_GUARDED_BY(mutex_);
+  std::size_t queued_count_ SPMAP_GUARDED_BY(mutex_) = 0;  // across queues_
+  /// Counter fields are atomics (see the struct comment), but every
+  /// *mutation* still happens inside a mutex_ critical section — only the
+  /// cross-field snapshot invariant needs the lock, so the struct itself
+  /// is not GUARDED_BY.
+  Counters counters_;  // ServiceStats::queued = queued_count_
+  std::uint64_t next_id_ SPMAP_GUARDED_BY(mutex_) = 0;
+  std::size_t unfinished_ SPMAP_GUARDED_BY(mutex_) = 0;  // not yet terminal
+  bool stopping_ SPMAP_GUARDED_BY(mutex_) = false;
 };
 
 /// Observer + controller of one submitted job. Copyable; all members are

@@ -31,7 +31,7 @@ std::size_t ResultCache::approx_bytes(const MapJobResult& result) {
 
 std::optional<MapJobResult> ResultCache::lookup(const Digest& key) {
   Shard& shard = shard_for(key);
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -60,7 +60,7 @@ void ResultCache::evict_to_fit_locked(Shard& shard,
 void ResultCache::insert(const Digest& key, const MapJobResult& result) {
   const std::size_t bytes = approx_bytes(result);
   Shard& shard = shard_for(key);
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard_byte_budget_ != 0 && bytes > shard_byte_budget_) return;
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -83,7 +83,7 @@ void ResultCache::insert(const Digest& key, const MapJobResult& result) {
 std::optional<ResultCache::WarmEntry> ResultCache::lookup_warm(
     const Digest& problem_key) {
   Shard& shard = shard_for(problem_key);
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.warm_index.find(problem_key);
   if (it == shard.warm_index.end()) {
     ++shard.warm_misses;
@@ -96,7 +96,7 @@ std::optional<ResultCache::WarmEntry> ResultCache::lookup_warm(
 
 void ResultCache::offer_warm(const Digest& problem_key, WarmEntry entry) {
   Shard& shard = shard_for(problem_key);
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.warm_index.find(problem_key);
   if (it != shard.warm_index.end()) {
     // Keep the best incumbent; first writer wins ties so the stored seed
@@ -119,7 +119,7 @@ void ResultCache::offer_warm(const Digest& problem_key, WarmEntry entry) {
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats out;
   for (const Shard& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.inserts += shard.inserts;

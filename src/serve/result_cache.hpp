@@ -49,7 +49,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +56,7 @@
 #include "model/mapping.hpp"
 #include "serve/mapping_service.hpp"
 #include "util/content_hash.hpp"
+#include "util/mutex.hpp"
 
 namespace spmap {
 
@@ -145,28 +145,29 @@ class ResultCache {
     }
   };
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     /// Front = most recently used.
-    std::list<ExactEntry> lru;
+    std::list<ExactEntry> lru SPMAP_GUARDED_BY(mutex);
     std::unordered_map<Digest, std::list<ExactEntry>::iterator, DigestHashFn>
-        index;
-    std::size_t bytes = 0;
-    std::list<WarmSlot> warm_lru;
+        index SPMAP_GUARDED_BY(mutex);
+    std::size_t bytes SPMAP_GUARDED_BY(mutex) = 0;
+    std::list<WarmSlot> warm_lru SPMAP_GUARDED_BY(mutex);
     std::unordered_map<Digest, std::list<WarmSlot>::iterator, DigestHashFn>
-        warm_index;
-    // Counters (under mutex).
-    std::size_t hits = 0;
-    std::size_t misses = 0;
-    std::size_t inserts = 0;
-    std::size_t evictions = 0;
-    std::size_t warm_hits = 0;
-    std::size_t warm_misses = 0;
+        warm_index SPMAP_GUARDED_BY(mutex);
+    // Counters.
+    std::size_t hits SPMAP_GUARDED_BY(mutex) = 0;
+    std::size_t misses SPMAP_GUARDED_BY(mutex) = 0;
+    std::size_t inserts SPMAP_GUARDED_BY(mutex) = 0;
+    std::size_t evictions SPMAP_GUARDED_BY(mutex) = 0;
+    std::size_t warm_hits SPMAP_GUARDED_BY(mutex) = 0;
+    std::size_t warm_misses SPMAP_GUARDED_BY(mutex) = 0;
   };
 
   Shard& shard_for(const Digest& key) {
     return shards_[key.hi % shards_.size()];
   }
-  void evict_to_fit_locked(Shard& shard, std::size_t incoming_bytes);
+  void evict_to_fit_locked(Shard& shard, std::size_t incoming_bytes)
+      SPMAP_REQUIRES(shard.mutex);
 
   ResultCacheOptions options_;
   std::size_t shard_entry_budget_ = 0;  // 0 = unbounded

@@ -5,10 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace spmap {
 
@@ -18,9 +18,9 @@ namespace {
 std::atomic<bool> g_any_armed{false};
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, FailpointSpec> specs;
-  std::map<std::string, std::uint64_t> hit_counts;
+  Mutex mutex;
+  std::map<std::string, FailpointSpec> specs SPMAP_GUARDED_BY(mutex);
+  std::map<std::string, std::uint64_t> hit_counts SPMAP_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -100,7 +100,7 @@ void Failpoints::arm(const std::string& spec) {
   const auto entries = parse(spec);
   if (entries.empty()) return;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& [name, parsed] : entries) {
     r.specs[name] = parsed;
     r.hit_counts[name] = 0;
@@ -115,7 +115,7 @@ void Failpoints::arm_from_env() {
 
 void Failpoints::clear() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   r.specs.clear();
   r.hit_counts.clear();
   g_any_armed.store(false, std::memory_order_release);
@@ -127,7 +127,7 @@ bool Failpoints::armed() const {
 
 std::uint64_t Failpoints::hits(const std::string& name) const {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   const auto it = r.hit_counts.find(name);
   return it == r.hit_counts.end() ? 0 : it->second;
 }
@@ -137,7 +137,7 @@ bool Failpoints::hit(const char* name) {
   FailpointSpec spec;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     const auto it = r.specs.find(name);
     if (it == r.specs.end()) return false;
     const std::uint64_t index = r.hit_counts[name]++;

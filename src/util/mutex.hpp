@@ -1,0 +1,159 @@
+#pragma once
+/// \file mutex.hpp
+/// The repo's annotated synchronization vocabulary: `spmap::Mutex`,
+/// `spmap::MutexLock`, `spmap::CondVar`, and the `ThreadRole` capability.
+///
+/// Every mutex in `src/` is an `spmap::Mutex` (enforced by
+/// scripts/lint_invariants.sh): a `std::mutex` carrying clang
+/// thread-safety capability attributes, so members declared
+/// `SPMAP_GUARDED_BY(mutex_)` are compiler-checked against the locking
+/// discipline instead of documented in prose. `MutexLock` is the one
+/// RAII holder (it wraps `std::unique_lock`, so mid-scope `unlock()` /
+/// `lock()` and condition waits work); `CondVar` pairs with it.
+///
+/// `CondVar` deliberately has no predicate-taking `wait` overloads:
+/// the analysis cannot see that a predicate lambda runs under the lock,
+/// so annotated code writes the classic explicit loop —
+///
+///     MutexLock lock(mutex_);
+///     while (!condition) cv_.wait(lock);
+///
+/// — which the analysis follows without any escape hatch.
+///
+/// ## ThreadRole: single-owner threading as a capability
+///
+/// Some state is protected by *thread identity*, not a lock: the serving
+/// daemon's connection/session/job tables are touched by its IO thread
+/// only (ARCHITECTURE.md "single-owner IO"). `ThreadRole` turns that
+/// contract into a checkable capability with no runtime cost: the state
+/// is declared `SPMAP_GUARDED_BY(io_role_)`, functions running on the
+/// owning thread are `SPMAP_REQUIRES(io_role_)`, and the owning thread's
+/// entry point holds a `ScopedThreadRole` for its whole loop. A worker
+/// callback that reached for the job table would now fail to compile
+/// instead of corrupting it. The capability is advisory — acquiring it
+/// does not synchronize anything — so it encodes exactly (and only) the
+/// documented single-owner discipline.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace spmap {
+
+/// Annotated exclusive mutex. Prefer `MutexLock` over manual
+/// lock()/unlock() pairs.
+class SPMAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPMAP_ACQUIRE() { mu_.lock(); }
+  void unlock() SPMAP_RELEASE() { mu_.unlock(); }
+  bool try_lock() SPMAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the caller holds this mutex (no runtime check).
+  /// Escape hatch for call graphs the analysis cannot follow; every use
+  /// needs a comment citing the invariant.
+  void AssertHeld() const SPMAP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex`; the scoped capability the analysis tracks.
+/// Wraps `std::unique_lock`, so `unlock()`/`lock()` mid-scope are legal
+/// (the destructor releases only if still held) and `CondVar` can wait
+/// on it.
+class SPMAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SPMAP_ACQUIRE(mutex) : lock_(mutex.mu_) {}
+  ~MutexLock() SPMAP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release (e.g. dropping the lock before a rethrow).
+  void unlock() SPMAP_RELEASE() { lock_.unlock(); }
+  /// Re-acquire after an early `unlock()`.
+  void lock() SPMAP_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with `MutexLock`. No predicate overloads by
+/// design (see the header comment): write the explicit while loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, waits, re-acquires. As with every
+  /// condition wait, spurious wakeups happen: always re-check the
+  /// condition in a loop.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait against an absolute deadline; returns
+  /// `std::cv_status::timeout` once `deadline` passed.
+  std::cv_status wait_until(MutexLock& lock,
+                            std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Computes the absolute deadline `timeout_ms` from now, saturating huge
+/// values (callers pass "practically forever") instead of overflowing
+/// the clock arithmetic inside wait_until.
+inline std::chrono::steady_clock::time_point deadline_after_ms(
+    double timeout_ms) {
+  constexpr double kMaxMs = 1e9;  // ~11.5 days; well inside clock range
+  if (timeout_ms < 0.0) timeout_ms = 0.0;
+  if (timeout_ms > kMaxMs) timeout_ms = kMaxMs;
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double, std::milli>(timeout_ms));
+}
+
+/// Zero-cost capability standing for "runs on the owning thread" (see
+/// the header comment). Declare one per single-owner discipline, guard
+/// the owned state with it, and hold a `ScopedThreadRole` in the owning
+/// thread's entry point.
+class SPMAP_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Tells the analysis the current context runs on the owning thread.
+  /// Escape hatch (no runtime check); prefer SPMAP_REQUIRES + a
+  /// ScopedThreadRole in the thread's entry point.
+  void AssertHeld() const SPMAP_ASSERT_CAPABILITY(this) {}
+};
+
+/// Marks the enclosing scope as running on `role`'s owning thread. Pure
+/// annotation: no runtime effect whatsoever.
+class SPMAP_SCOPED_CAPABILITY ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(ThreadRole& role) SPMAP_ACQUIRE(role) {
+    (void)role;
+  }
+  ~ScopedThreadRole() SPMAP_RELEASE() {}
+
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+};
+
+}  // namespace spmap

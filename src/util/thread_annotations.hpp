@@ -1,0 +1,85 @@
+#pragma once
+/// \file thread_annotations.hpp
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// The repo's locking disciplines (ARCHITECTURE.md "Thread-safety") are
+/// expressed with these macros so `-Wthread-safety` turns a violated
+/// contract into a failed build instead of a prose drift. Under any
+/// compiler without the attributes (gcc, msvc) every macro expands to
+/// nothing, so annotated code compiles everywhere; under clang the
+/// attributes are always emitted (they are harmless without the warning
+/// flag) and the CMake option `SPMAP_THREAD_SAFETY_ANALYSIS` promotes
+/// them to `-Werror=thread-safety`.
+///
+/// The vocabulary (mirroring clang's documentation):
+///
+///  * `SPMAP_CAPABILITY(name)`       — a class is a lockable capability
+///    (src/util/mutex.hpp applies it to `spmap::Mutex` and `ThreadRole`).
+///  * `SPMAP_GUARDED_BY(mu)`         — a data member may only be accessed
+///    while `mu` is held.
+///  * `SPMAP_PT_GUARDED_BY(mu)`      — same, for the pointee of a pointer.
+///  * `SPMAP_REQUIRES(mu)`           — callers must hold `mu` (not
+///    acquired inside).
+///  * `SPMAP_ACQUIRE(mu)/RELEASE(mu)`— the function acquires / releases.
+///  * `SPMAP_EXCLUDES(mu)`           — callers must NOT hold `mu` (the
+///    function acquires it itself; deadlock guard).
+///  * `SPMAP_SCOPED_CAPABILITY`      — RAII lock types (MutexLock).
+///  * `SPMAP_ASSERT_CAPABILITY(mu)`  — runtime assertion the analysis
+///    trusts (escape hatch; prefer REQUIRES).
+///  * `SPMAP_ACQUIRED_BEFORE/AFTER`  — lock-ordering documentation
+///    (checked only under -Wthread-safety-beta).
+///  * `SPMAP_NO_THREAD_SAFETY_ANALYSIS` — opt a function out entirely;
+///    every use must carry a comment citing the invariant that makes the
+///    unchecked access sound (same policy as tsan.supp, see
+///    docs/STATIC_ANALYSIS.md).
+
+#if defined(__clang__) && !defined(SWIG)
+#define SPMAP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPMAP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define SPMAP_CAPABILITY(x) SPMAP_THREAD_ANNOTATION(capability(x))
+
+#define SPMAP_SCOPED_CAPABILITY SPMAP_THREAD_ANNOTATION(scoped_lockable)
+
+#define SPMAP_GUARDED_BY(x) SPMAP_THREAD_ANNOTATION(guarded_by(x))
+
+#define SPMAP_PT_GUARDED_BY(x) SPMAP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define SPMAP_ACQUIRED_BEFORE(...) \
+  SPMAP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define SPMAP_ACQUIRED_AFTER(...) \
+  SPMAP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define SPMAP_REQUIRES(...) \
+  SPMAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define SPMAP_REQUIRES_SHARED(...) \
+  SPMAP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define SPMAP_ACQUIRE(...) \
+  SPMAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define SPMAP_ACQUIRE_SHARED(...) \
+  SPMAP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define SPMAP_RELEASE(...) \
+  SPMAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define SPMAP_RELEASE_SHARED(...) \
+  SPMAP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define SPMAP_TRY_ACQUIRE(...) \
+  SPMAP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define SPMAP_EXCLUDES(...) SPMAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define SPMAP_ASSERT_CAPABILITY(x) \
+  SPMAP_THREAD_ANNOTATION(assert_capability(x))
+
+#define SPMAP_RETURN_CAPABILITY(x) SPMAP_THREAD_ANNOTATION(lock_returned(x))
+
+#define SPMAP_NO_THREAD_SAFETY_ANALYSIS \
+  SPMAP_THREAD_ANNOTATION(no_thread_safety_analysis)

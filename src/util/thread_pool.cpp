@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/mutex.hpp"
+
 namespace spmap {
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -16,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -69,7 +71,7 @@ void ThreadPool::run_share(
 void ThreadPool::run_job(
     std::size_t n, std::size_t chunk,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  suppressed_count_ = 0;
+  suppressed_count_.store(0, std::memory_order_release);
   if (thread_count_ == 1 || n <= 1) {
     // Inline path: a single worker's exception propagates directly.
     if (n == 0) return;
@@ -83,7 +85,7 @@ void ThreadPool::run_job(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_n_ = n;
     job_chunk_ = chunk;
@@ -96,8 +98,8 @@ void ThreadPool::run_job(
   // The caller is worker 0.
   run_share(n, chunk, 0, fn);
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) work_done_.wait(lock);
   job_ = nullptr;
 
   // Rethrow the lowest-indexed worker's exception (a deterministic pick);
@@ -111,13 +113,14 @@ void ThreadPool::run_job(
     errors_[w] = nullptr;
   }
   if (!first) return;
-  suppressed_count_ = thrown - 1;
+  const std::size_t suppressed = thrown - 1;
+  suppressed_count_.store(suppressed, std::memory_order_release);
   lock.unlock();
-  if (suppressed_count_ > 0) {
+  if (suppressed > 0) {
     std::fprintf(stderr,
                  "spmap: ThreadPool: %zu worker exception(s) suppressed "
                  "(rethrowing the first)\n",
-                 suppressed_count_);
+                 suppressed);
   }
   std::rethrow_exception(first);
 }
@@ -129,8 +132,8 @@ void ThreadPool::worker_loop(std::size_t worker) {
     std::size_t n;
     std::size_t chunk;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      while (!stop_ && job_epoch_ == seen_epoch) work_ready_.wait(lock);
       if (stop_) return;
       seen_epoch = job_epoch_;
       job = job_;
@@ -139,7 +142,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     }
     run_share(n, chunk, worker, *job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--pending_ == 0) work_done_.notify_one();
     }
   }

@@ -32,14 +32,15 @@
 /// `last_suppressed_exception_count()`. Earlier versions kept only one
 /// arbitrary racing winner and silently dropped the rest.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace spmap {
 
@@ -78,9 +79,11 @@ class ThreadPool {
 
   /// Worker exceptions swallowed (not rethrown) by the most recent
   /// parallel_for/parallel_for_chunks call on this pool: total thrown minus
-  /// the one rethrown. 0 when the last call succeeded.
+  /// the one rethrown. 0 when the last call succeeded. Atomic so a monitor
+  /// thread polling it against an in-flight parallel region reads a clean
+  /// (previous-call) value instead of a torn one.
   std::size_t last_suppressed_exception_count() const {
-    return suppressed_count_;
+    return suppressed_count_.load(std::memory_order_acquire);
   }
 
   /// Block of worker `w` in the static partition of [0, n) over `workers`.
@@ -104,21 +107,26 @@ class ThreadPool {
   std::size_t thread_count_ = 1;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
   // Job state, guarded by mutex_. errors_ has one slot per worker, each
   // written only by its owner while the job runs (read by the caller after
-  // the job completes), so the first-thrower choice cannot race.
-  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_ =
-      nullptr;
-  std::size_t job_n_ = 0;
-  std::size_t job_chunk_ = 0;    // 0 = block mode
-  std::uint64_t job_epoch_ = 0;  // bumped per parallel_for call
-  std::size_t pending_ = 0;      // workers still running the current job
-  bool stop_ = false;
+  // the job completes, with the pending_-handshake through mutex_ ordering
+  // the writes before the read), so the first-thrower choice cannot race.
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_
+      SPMAP_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_n_ SPMAP_GUARDED_BY(mutex_) = 0;
+  std::size_t job_chunk_ SPMAP_GUARDED_BY(mutex_) = 0;  // 0 = block mode
+  std::uint64_t job_epoch_ SPMAP_GUARDED_BY(mutex_) = 0;  // per-call bump
+  std::size_t pending_ SPMAP_GUARDED_BY(mutex_) = 0;  // workers still busy
+  bool stop_ SPMAP_GUARDED_BY(mutex_) = false;
+  /// One slot per worker: errors_[w] is written only by worker w during a
+  /// job and read by the caller after the pending_ handshake, so slot
+  /// accesses need no lock of their own; the vector itself is only
+  /// *reshaped* (assign) under mutex_ between jobs.
   std::vector<std::exception_ptr> errors_;
-  std::size_t suppressed_count_ = 0;
+  std::atomic<std::size_t> suppressed_count_{0};
 };
 
 }  // namespace spmap

@@ -1,0 +1,33 @@
+// Negative case for the thread-safety compile-fail check (see
+// cmake/ThreadSafetyAnalysis.cmake): identical to guarded_ok.cpp except
+// increment() touches the guarded member WITHOUT the lock. The configure
+// step requires this file to FAIL under -Werror=thread-safety; if it
+// ever compiles, the annotations have silently stopped guarding anything
+// (e.g. a macro gate broke) and configuration aborts.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    ++value_;  // unguarded access: must trip -Werror=thread-safety
+  }
+
+  int value() const {
+    spmap::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable spmap::Mutex mutex_;
+  int value_ SPMAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Positive control for the thread-safety compile-fail check (see
+// cmake/ThreadSafetyAnalysis.cmake): a correctly locked access through
+// the annotated vocabulary. If THIS translation unit stops compiling
+// under -Werror=thread-safety, the harness is broken (or the vocabulary
+// regressed), and the paired "guarded_bad" failure proves nothing.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    spmap::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int value() const {
+    spmap::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable spmap::Mutex mutex_;
+  int value_ SPMAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

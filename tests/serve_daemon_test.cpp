@@ -147,6 +147,20 @@ TEST(ServeDaemon, OverloadRejectionIsStructuredAndSurvivable) {
     const auto ok = client.recv(10000.0);
     ASSERT_TRUE(ok.has_value() && ok->at("ok").as_bool()) << ok->dump();
     jobs.push_back(static_cast<std::uint64_t>(ok->at("job").as_int()));
+    if (i == 0) {
+      // Wait for the worker to claim the first job before submitting the
+      // second: until then it still occupies the queue slot and the
+      // second submit would be shed as overload (seen under TSan, where
+      // the worker is slow to dequeue).
+      for (int poll = 0; poll < 1000; ++poll) {
+        client.send(Json(
+            Json::Object{{"op", Json("status")}, {"job", Json(jobs[0])}}));
+        const auto status = client.recv(10000.0);
+        ASSERT_TRUE(status.has_value() && status->at("ok").as_bool());
+        if (status->at("state").as_string() == "running") break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
   }
 
   // Low-priority traffic is shed first (graduated thresholds): rejected
@@ -188,6 +202,29 @@ TEST(ServeDaemon, UnknownMapperIsRejectedEagerly) {
   ASSERT_TRUE(response.has_value());
   EXPECT_FALSE(response->at("ok").as_bool());
   EXPECT_EQ(response->at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServeDaemon, DestructionWithJobsInFlightIsRaceFree) {
+  // Regression for a TSan-caught write-after-close: a worker's
+  // on_terminal callback pokes the wake pipe (push_event -> wake ->
+  // write), and ~Daemon used to close that pipe before the service
+  // joined its workers. The window is the gap between a job turning
+  // terminal (which lets run() finish draining) and the callback's
+  // write; several rounds of teardown with jobs mid-flight keep
+  // hitting it.
+  for (int round = 0; round < 5; ++round) {
+    DaemonFixture fixture({.workers = 2, .max_queued = 8});
+    WireClient client(fixture.daemon->endpoint());
+    Json slow = submit_frame(24);
+    slow.set("mapper", Json("anneal:iters=200000"));
+    for (int i = 0; i < 4; ++i) {
+      client.send(slow);
+      const auto ok = client.recv(10000.0);
+      ASSERT_TRUE(ok.has_value() && ok->at("ok").as_bool()) << ok->dump();
+    }
+    // Fixture teardown drains with zero grace: the jobs get cancelled
+    // while running and their terminal callbacks race the destructor.
+  }
 }
 
 TEST(ServeDaemon, MalformedJsonClosesTheConnection) {
